@@ -1,0 +1,571 @@
+// Package repro's root benchmark harness regenerates every table and figure
+// of the paper's evaluation as a testing.B benchmark, reporting the paper's
+// metric (throughput, error rate, latency gap, normalized execution time) as
+// custom benchmark metrics. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark corresponds to one artifact in DESIGN.md's per-experiment
+// index; the Ablation* benchmarks cover the design-choice studies DESIGN.md
+// calls out.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/figures"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// quietMachine builds a machine with the given LLC geometry and no noise.
+func quietMachine(b *testing.B, llcBytes, llcWays int) *sim.Machine {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.LLCBytes = llcBytes
+	cfg.LLCWays = llcWays
+	m, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkRowBufferLatencyGap regenerates the Section 3.1 microbenchmark:
+// the ~74-cycle conflict-vs-hit gap.
+func BenchmarkRowBufferLatencyGap(b *testing.B) {
+	var gap int64
+	for i := 0; i < b.N; i++ {
+		m := quietMachine(b, 8<<20, 16)
+		c := m.Core(0)
+		c.TranslateTouch(m.AddrFor(0, 10, 0))
+		c.TranslateTouch(m.AddrFor(0, 20, 0))
+		c.LoadUncached(m.AddrFor(0, 10, 0))
+		hit := c.LoadUncached(m.AddrFor(0, 10, 64))
+		c.Advance(500)
+		conflict := c.LoadUncached(m.AddrFor(0, 20, 0))
+		gap = conflict - hit
+	}
+	b.ReportMetric(float64(gap), "gap-cycles")
+	if gap < 60 || gap > 90 {
+		b.Fatalf("gap %d cycles outside the paper's ~74-cycle band", gap)
+	}
+}
+
+// channelBench runs one covert channel and reports the paper's metrics.
+func channelBench(b *testing.B, bits int, run func(*sim.Machine, []bool, core.Options) (core.Result, error)) {
+	b.Helper()
+	msg := core.RandomMessage(bits, 42)
+	var res core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = run(quietMachine(b, 8<<20, 16), msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ThroughputMbps, "Mb/s")
+	b.ReportMetric(res.ErrorRate*100, "err%")
+	b.ReportMetric(float64(res.Cycles)/float64(bits), "cyc/bit")
+}
+
+// BenchmarkFig9PnM is the IMPACT-PnM headline number (paper: 8.2 Mb/s).
+func BenchmarkFig9PnM(b *testing.B) { channelBench(b, 4096, core.RunPnM) }
+
+// BenchmarkFig9PuM is the IMPACT-PuM headline number (paper: 14.8 Mb/s).
+func BenchmarkFig9PuM(b *testing.B) { channelBench(b, 4096, core.RunPuM) }
+
+// BenchmarkFig9DRAMAClflush is the strongest prior-work baseline
+// (paper: ~2.3 Mb/s at the default LLC).
+func BenchmarkFig9DRAMAClflush(b *testing.B) { channelBench(b, 2048, core.RunDRAMAClflush) }
+
+// BenchmarkFig9DRAMAEviction is the eviction-set baseline (paper: slowest).
+func BenchmarkFig9DRAMAEviction(b *testing.B) { channelBench(b, 512, core.RunDRAMAEviction) }
+
+// BenchmarkFig9DMA is the DMA-engine baseline (paper: 0.81 Mb/s).
+func BenchmarkFig9DMA(b *testing.B) { channelBench(b, 1024, core.RunDMA) }
+
+// BenchmarkFig2LLCSizeSweep regenerates the Figure 2 series: the direct
+// attack stays flat while the eviction baseline collapses with LLC size.
+func BenchmarkFig2LLCSizeSweep(b *testing.B) {
+	msg := core.RandomMessage(512, 2)
+	for i := 0; i < b.N; i++ {
+		var direct4, direct128, baseline4, baseline128 core.Result
+		var err error
+		if direct4, err = core.RunDirect(quietMachine(b, 4<<20, 16), msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if direct128, err = core.RunDirect(quietMachine(b, 128<<20, 16), msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if baseline4, err = core.RunDRAMAEviction(quietMachine(b, 4<<20, 16), msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if baseline128, err = core.RunDRAMAEviction(quietMachine(b, 128<<20, 16), msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(direct4.ThroughputMbps, "direct4MB")
+			b.ReportMetric(direct128.ThroughputMbps, "direct128MB")
+			b.ReportMetric(baseline4.ThroughputMbps, "evict4MB")
+			b.ReportMetric(baseline128.ThroughputMbps, "evict128MB")
+			if direct128.ThroughputMbps < direct4.ThroughputMbps*0.9 {
+				b.Fatal("direct attack throughput not flat across LLC sizes")
+			}
+			if baseline128.ThroughputMbps > baseline4.ThroughputMbps/2 {
+				b.Fatal("eviction baseline did not collapse with LLC size")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3LLCWaySweep regenerates the Figure 3 series over LLC ways.
+func BenchmarkFig3LLCWaySweep(b *testing.B) {
+	msg := core.RandomMessage(512, 3)
+	for i := 0; i < b.N; i++ {
+		low, err := core.RunDRAMAEviction(quietMachine(b, 16<<20, 2), msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		high, err := core.RunDRAMAEviction(quietMachine(b, 16<<20, 128), msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(low.ThroughputMbps, "evict2way")
+			b.ReportMetric(high.ThroughputMbps, "evict128way")
+			if high.ThroughputMbps > low.ThroughputMbps/4 {
+				b.Fatal("eviction baseline did not collapse with associativity")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8PoC regenerates the 16-bit proof of concept with the paper's
+// 150-cycle threshold; the transmission must decode perfectly.
+func BenchmarkFig8PoC(b *testing.B) {
+	msg := []bool{true, true, true, false, false, true, false, false,
+		true, true, true, false, false, true, false, false}
+	var pnm, pum core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if pnm, err = core.RunPnM(quietMachine(b, 8<<20, 16), msg, core.Options{RecordLatencies: true}); err != nil {
+			b.Fatal(err)
+		}
+		if pum, err = core.RunPuM(quietMachine(b, 8<<20, 16), msg, core.Options{RecordLatencies: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if pnm.Correct != 16 || pum.Correct != 16 {
+		b.Fatalf("PoC decode errors: pnm %d/16, pum %d/16", pnm.Correct, pum.Correct)
+	}
+	b.ReportMetric(float64(pnm.Latencies[3]), "pnm-logic0-cyc")
+	b.ReportMetric(float64(pnm.Latencies[0]), "pnm-logic1-cyc")
+}
+
+// BenchmarkFig10Breakdown regenerates the sender/receiver time breakdown:
+// the PuM sender must be roughly an order of magnitude cheaper.
+func BenchmarkFig10Breakdown(b *testing.B) {
+	msg := core.RandomMessage(2048, 5)
+	var pnm, pum core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if pnm, err = core.RunPnM(quietMachine(b, 8<<20, 16), msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if pum, err = core.RunPuM(quietMachine(b, 8<<20, 16), msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ratio := float64(pnm.SenderCycles) / float64(pum.SenderCycles)
+	b.ReportMetric(ratio, "sender-ratio")
+	b.ReportMetric(float64(pnm.ReceiverCycles)/float64(pum.ReceiverCycles), "receiver-ratio")
+	if ratio < 4 {
+		b.Fatalf("PnM/PuM sender ratio %.1f too low (paper: 11.1x)", ratio)
+	}
+}
+
+// BenchmarkFig11SideChannel regenerates the bank sweep of the genomics side
+// channel at its two endpoints.
+func BenchmarkFig11SideChannel(b *testing.B) {
+	var lo, hi core.SideChannelResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if lo, err = figures.SideChannelOnce(1024, 1<<18, 8000, 3, 7); err != nil {
+			b.Fatal(err)
+		}
+		if hi, err = figures.SideChannelOnce(8192, 1<<18, 8000, 3, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lo.ThroughputMbps, "1024banks-Mb/s")
+	b.ReportMetric(hi.ThroughputMbps, "8192banks-Mb/s")
+	b.ReportMetric(lo.ErrorRate*100, "1024banks-err%")
+	b.ReportMetric(hi.ErrorRate*100, "8192banks-err%")
+	if hi.ThroughputMbps >= lo.ThroughputMbps {
+		b.Fatal("side-channel throughput did not decline with bank count")
+	}
+	if hi.ErrorRate <= lo.ErrorRate {
+		b.Fatal("side-channel error did not rise with bank count")
+	}
+}
+
+// BenchmarkFig12Defenses regenerates the defense performance comparison.
+func BenchmarkFig12Defenses(b *testing.B) {
+	var rows []workloads.DefenseRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = workloads.RunDefenseComparison(workloads.SmallSuiteConfig(), workloads.DefenseConfigs())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.GMean, row.Defense+"-gmean")
+	}
+}
+
+// BenchmarkACTThroughputReduction regenerates the Section 7.4 analysis.
+func BenchmarkACTThroughputReduction(b *testing.B) {
+	msg := core.RandomMessage(1024, 99)
+	run := func(mem memctrl.Config) core.Result {
+		cfg := sim.DefaultConfig()
+		cfg.Mem = mem
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunPnM(m, msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var base, aggr core.Result
+	for i := 0; i < b.N; i++ {
+		base = run(memctrl.DefaultConfig())
+		mem := memctrl.DefaultConfig()
+		mem.Defense = memctrl.DefenseAdaptive
+		mem.ACT = memctrl.ACTAggressive()
+		aggr = run(mem)
+	}
+	reduction := 100 * (1 - aggr.EffectiveThroughputMbps/base.EffectiveThroughputMbps)
+	b.ReportMetric(reduction, "aggr-reduction%")
+	if reduction < 70 {
+		b.Fatalf("ACT-Aggressive reduction %.0f%% below the paper's 72%%", reduction)
+	}
+}
+
+// BenchmarkAblationRowPolicy studies the open-row timeout DESIGN.md calls
+// out: shrinking the timeout below the batch period kills the channel.
+func BenchmarkAblationRowPolicy(b *testing.B) {
+	msg := core.RandomMessage(1024, 7)
+	run := func(timeout int64) core.Result {
+		cfg := sim.DefaultConfig()
+		cfg.DRAM.Timing.RowTimeout = timeout
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunPnM(m, msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var open, strict core.Result
+	for i := 0; i < b.N; i++ {
+		open = run(0)
+		strict = run(260) // the literal 100 ns of Table 2
+	}
+	b.ReportMetric(open.EffectiveThroughputMbps, "no-timeout-Mb/s")
+	b.ReportMetric(strict.EffectiveThroughputMbps, "100ns-timeout-Mb/s")
+	if strict.EffectiveThroughputMbps > open.EffectiveThroughputMbps/2 {
+		b.Fatal("a 100 ns timeout should cripple the channel (see DESIGN.md)")
+	}
+}
+
+// BenchmarkAblationBatchSize sweeps the number of banks used per batch.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	msg := core.RandomMessage(1024, 8)
+	run := func(banks int) core.Result {
+		m := quietMachine(b, 8<<20, 16)
+		set := make([]int, banks)
+		for i := range set {
+			set[i] = i
+		}
+		res, err := core.RunPuM(m, msg, core.Options{Banks: set})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var narrow, wide core.Result
+	for i := 0; i < b.N; i++ {
+		narrow = run(2)
+		wide = run(16)
+	}
+	b.ReportMetric(narrow.ThroughputMbps, "2banks-Mb/s")
+	b.ReportMetric(wide.ThroughputMbps, "16banks-Mb/s")
+	if wide.ThroughputMbps <= narrow.ThroughputMbps {
+		b.Fatal("bank parallelism did not raise throughput")
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the decode threshold around the paper's
+// 150-cycle operating point.
+func BenchmarkAblationThreshold(b *testing.B) {
+	msg := core.RandomMessage(1024, 9)
+	run := func(threshold int64) core.Result {
+		res, err := core.RunPnM(quietMachine(b, 8<<20, 16), msg, core.Options{Threshold: threshold})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var low, mid, high core.Result
+	for i := 0; i < b.N; i++ {
+		low = run(60)   // below the logic-0 band: everything decodes 1
+		mid = run(150)  // the paper's threshold
+		high = run(400) // above the logic-1 band: everything decodes 0
+	}
+	b.ReportMetric(low.ErrorRate*100, "thr60-err%")
+	b.ReportMetric(mid.ErrorRate*100, "thr150-err%")
+	b.ReportMetric(high.ErrorRate*100, "thr400-err%")
+	if mid.ErrorRate > 0.02 {
+		b.Fatalf("threshold 150 error %.1f%%", mid.ErrorRate*100)
+	}
+	if low.ErrorRate < 0.3 || high.ErrorRate < 0.3 {
+		b.Fatal("extreme thresholds should break decoding")
+	}
+}
+
+// BenchmarkAblationNoise sweeps the background-activity intensity.
+func BenchmarkAblationNoise(b *testing.B) {
+	msg := core.RandomMessage(2048, 10)
+	run := func(noise float64) core.Result {
+		cfg := sim.DefaultConfig()
+		cfg.Noise.EventsPerMCycle = noise
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunPnM(m, msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var quiet, noisy core.Result
+	for i := 0; i < b.N; i++ {
+		quiet = run(0)
+		noisy = run(300)
+	}
+	b.ReportMetric(quiet.ErrorRate*100, "quiet-err%")
+	b.ReportMetric(noisy.ErrorRate*100, "noisy-err%")
+	if noisy.ErrorRate <= quiet.ErrorRate {
+		b.Fatal("noise had no effect on error rate")
+	}
+}
+
+// BenchmarkAblationACTConfig traces the ACT performance-security frontier.
+func BenchmarkAblationACTConfig(b *testing.B) {
+	msg := core.RandomMessage(1024, 11)
+	attack := func(penalty int64) core.Result {
+		mem := memctrl.DefaultConfig()
+		mem.Defense = memctrl.DefenseAdaptive
+		mem.ACT = memctrl.ACTConfig{EpochCycles: 2600, ConflictThreshold: 1, PenaltyEpochs: penalty}
+		cfg := sim.DefaultConfig()
+		cfg.Mem = mem
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunPnM(m, msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var mild, aggressive core.Result
+	for i := 0; i < b.N; i++ {
+		mild = attack(2)
+		aggressive = attack(4000)
+	}
+	b.ReportMetric(mild.EffectiveThroughputMbps, "penalty2-Mb/s")
+	b.ReportMetric(aggressive.EffectiveThroughputMbps, "penalty4000-Mb/s")
+	if aggressive.EffectiveThroughputMbps >= mild.EffectiveThroughputMbps {
+		b.Fatal("longer penalties did not reduce attack throughput")
+	}
+}
+
+// BenchmarkAblationMappingScheme compares address-mapping schemes: both
+// must sustain the channel (the attack composes addresses per scheme).
+func BenchmarkAblationMappingScheme(b *testing.B) {
+	msg := core.RandomMessage(1024, 12)
+	run := func(scheme dram.MappingScheme) core.Result {
+		cfg := sim.DefaultConfig()
+		cfg.Mapping = scheme
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunPnM(m, msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var xor, linear core.Result
+	for i := 0; i < b.N; i++ {
+		xor = run(dram.MapBankXOR)
+		linear = run(dram.MapRowInterleaved)
+	}
+	b.ReportMetric(xor.ThroughputMbps, "bankxor-Mb/s")
+	b.ReportMetric(linear.ThroughputMbps, "rowinterleaved-Mb/s")
+	if xor.ErrorRate > 0.05 || linear.ErrorRate > 0.05 {
+		b.Fatal("channel broken under one of the mapping schemes")
+	}
+}
+
+// BenchmarkWorkloadBFS measures the simulator's own execution speed on the
+// BFS kernel (host ns per simulated access).
+func BenchmarkWorkloadBFS(b *testing.B) {
+	g := workloads.NewRandomGraph(1<<12, 8, 11)
+	for i := 0; i < b.N; i++ {
+		m, err := sim.New(sim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := workloads.BFS{G: g}.Run(m.Core(0))
+		if res.Accesses == 0 {
+			b.Fatal("no accesses")
+		}
+	}
+}
+
+// BenchmarkAblationRefresh quantifies DDR4 refresh's effect on the channel:
+// a 4.5% duty cycle of tRFC stalls plus row closures.
+func BenchmarkAblationRefresh(b *testing.B) {
+	msg := core.RandomMessage(2048, 13)
+	run := func(maint dram.Maintenance) core.Result {
+		cfg := sim.DefaultConfig()
+		cfg.Noise.EventsPerMCycle = 0
+		cfg.DRAM.Maintenance = maint
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunPnM(m, msg, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var off, on core.Result
+	for i := 0; i < b.N; i++ {
+		off = run(dram.Maintenance{})
+		on = run(dram.DDR4Refresh())
+	}
+	b.ReportMetric(off.ThroughputMbps, "no-refresh-Mb/s")
+	b.ReportMetric(on.ThroughputMbps, "refresh-Mb/s")
+	b.ReportMetric(on.ErrorRate*100, "refresh-err%")
+	if on.ThroughputMbps >= off.ThroughputMbps {
+		b.Fatal("refresh had no cost")
+	}
+}
+
+// BenchmarkSection84RFM regenerates the Section 8.4 RowHammer-mitigation
+// analysis: preventive-action stalls are visible but tolerable.
+func BenchmarkSection84RFM(b *testing.B) {
+	msg := core.RandomMessage(2048, 14)
+	run := func(maint dram.Maintenance, opt core.Options) core.Result {
+		cfg := sim.DefaultConfig()
+		cfg.Noise.EventsPerMCycle = 0
+		cfg.DRAM.Maintenance = maint
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunPnM(m, msg, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var plain, rfm core.Result
+	for i := 0; i < b.N; i++ {
+		plain = run(dram.Maintenance{}, core.Options{})
+		rfm = run(dram.DDR5RFM(), core.Options{MaintenanceStall: dram.DDR5RFM().MitigationPenalty})
+	}
+	b.ReportMetric(plain.ThroughputMbps, "plain-Mb/s")
+	b.ReportMetric(rfm.ThroughputMbps, "rfm-filtered-Mb/s")
+	b.ReportMetric(rfm.ErrorRate*100, "rfm-err%")
+}
+
+// BenchmarkMemoryMassaging measures the cost of the attack's setup phase:
+// discovering co-located address pairs purely by timing.
+func BenchmarkMemoryMassaging(b *testing.B) {
+	var res core.MassageResult
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Noise.EventsPerMCycle = 0
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = core.MassageMemory(m, m.Core(0), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.ProbeCount), "probes")
+	b.ReportMetric(float64(res.Cycles), "setup-cycles")
+}
+
+// BenchmarkReliableFraming measures the coded channel's goodput on a noisy
+// machine.
+func BenchmarkReliableFraming(b *testing.B) {
+	data := core.RandomMessage(2048, 15)
+	var res core.ReliableResult
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Noise.EventsPerMCycle = 250
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = core.RunReliable(m, data, core.Options{}, core.RunPnM)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.GoodputMbps, "goodput-Mb/s")
+	b.ReportMetric(float64(res.Coded.ResidualErrors), "residual-bits")
+	b.ReportMetric(res.Raw.ErrorRate*100, "raw-err%")
+}
+
+// BenchmarkPipelinedPnM measures the overlapped-protocol variant of
+// Section 4.1 (sender and receiver work concurrently on disjoint bank
+// halves).
+func BenchmarkPipelinedPnM(b *testing.B) {
+	msg := core.RandomMessage(4096, 16)
+	var serial, pipelined core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if serial, err = core.RunPnM(quietMachine(b, 8<<20, 16), msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if pipelined, err = core.RunPnMPipelined(quietMachine(b, 8<<20, 16), msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(serial.ThroughputMbps, "serial-Mb/s")
+	b.ReportMetric(pipelined.ThroughputMbps, "pipelined-Mb/s")
+	if pipelined.ThroughputMbps <= serial.ThroughputMbps {
+		b.Fatal("pipelining did not improve throughput")
+	}
+}

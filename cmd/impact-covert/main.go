@@ -1,0 +1,120 @@
+// Command impact-covert runs the IMPACT covert channels and their baselines
+// on the simulated PiM system and prints throughput, error rate and timing
+// breakdowns. It can also sweep LLC size (Figure 9 / Figure 2) and LLC ways
+// (Figure 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "impact-covert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("impact-covert", flag.ContinueOnError)
+	var (
+		bits     = fs.Int("bits", 4096, "message length in bits")
+		seed     = fs.Uint64("seed", 42, "message seed")
+		channels = fs.String("channels", "pnm,pum,clflush,eviction,dma,direct", "comma-separated channel list")
+		llcMB    = fs.Int("llc-mb", 8, "LLC size in MiB")
+		llcWays  = fs.Int("llc-ways", 16, "LLC associativity")
+		sweep    = fs.String("sweep", "", "sweep 'size' (1..128 MiB) or 'ways' (2..128)")
+		noise    = fs.Float64("noise", 3, "background noise events per Mcycle")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	msg := core.RandomMessage(*bits, *seed)
+	names := strings.Split(*channels, ",")
+
+	switch *sweep {
+	case "":
+		fmt.Printf("%-16s %12s %10s %14s %14s\n", "channel", "Mb/s", "err%", "sender cyc", "receiver cyc")
+		for _, name := range names {
+			res, err := runChannel(strings.TrimSpace(name), msg, *llcMB<<20, *llcWays, *noise)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s %12.2f %10.2f %14d %14d\n",
+				res.Channel, res.ThroughputMbps, res.ErrorRate*100, res.SenderCycles, res.ReceiverCycles)
+		}
+	case "size":
+		fmt.Printf("%-10s", "LLC(MB)")
+		for _, n := range names {
+			fmt.Printf(" %14s", strings.TrimSpace(n))
+		}
+		fmt.Println()
+		for _, mb := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+			fmt.Printf("%-10d", mb)
+			for _, name := range names {
+				res, err := runChannel(strings.TrimSpace(name), msg, mb<<20, *llcWays, *noise)
+				if err != nil {
+					return err
+				}
+				fmt.Printf(" %14s", strconv.FormatFloat(res.ThroughputMbps, 'f', 2, 64))
+			}
+			fmt.Println()
+		}
+	case "ways":
+		fmt.Printf("%-10s", "ways")
+		for _, n := range names {
+			fmt.Printf(" %14s", strings.TrimSpace(n))
+		}
+		fmt.Println()
+		for _, ways := range []int{2, 4, 8, 16, 32, 64, 128} {
+			fmt.Printf("%-10d", ways)
+			for _, name := range names {
+				res, err := runChannel(strings.TrimSpace(name), msg, *llcMB<<20, ways, *noise)
+				if err != nil {
+					return err
+				}
+				fmt.Printf(" %14s", strconv.FormatFloat(res.ThroughputMbps, 'f', 2, 64))
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q (want 'size' or 'ways')", *sweep)
+	}
+	return nil
+}
+
+func runChannel(name string, msg []bool, llcBytes, llcWays int, noise float64) (core.Result, error) {
+	cfg := sim.DefaultConfig()
+	cfg.LLCBytes = llcBytes
+	cfg.LLCWays = llcWays
+	cfg.Noise.EventsPerMCycle = noise
+	m, err := sim.New(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	opt := core.Options{}
+	switch name {
+	case "pnm":
+		return core.RunPnM(m, msg, opt)
+	case "pum":
+		return core.RunPuM(m, msg, opt)
+	case "clflush":
+		return core.RunDRAMAClflush(m, msg, opt)
+	case "eviction":
+		return core.RunDRAMAEviction(m, msg, opt)
+	case "dma":
+		return core.RunDMA(m, msg, opt)
+	case "direct":
+		return core.RunDirect(m, msg, opt)
+	default:
+		return core.Result{}, fmt.Errorf("unknown channel %q", name)
+	}
+}

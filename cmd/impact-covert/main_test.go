@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunChannelDispatch(t *testing.T) {
+	msg := make([]bool, 64)
+	for _, name := range []string{"pnm", "pum", "clflush", "eviction", "dma", "direct"} {
+		res, err := runChannel(name, msg, 8<<20, 16, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Bits != 64 {
+			t.Fatalf("%s transmitted %d bits", name, res.Bits)
+		}
+	}
+	if _, err := runChannel("bogus", msg, 8<<20, 16, 0); err == nil {
+		t.Fatal("unknown channel accepted")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-sweep", "nonsense", "-bits", "16"}); err == nil {
+		t.Fatal("invalid sweep accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+}
+
+func TestRunDefaultTable(t *testing.T) {
+	if err := run([]string{"-bits", "64", "-channels", "pnm"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Command impact-defense evaluates the paper's Section 7 defenses: the
+// Figure 12 performance comparison (CTD and the three ACT variants over the
+// GraphBIG + XSBench suite) and the Section 7.4 attack-throughput reduction
+// of ACT against IMPACT-PnM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "impact-defense:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("impact-defense", flag.ContinueOnError)
+	var (
+		small      = fs.Bool("small", false, "use the reduced workload suite")
+		throughput = fs.Bool("attack-throughput", true, "also report ACT's effect on IMPACT-PnM throughput")
+		bits       = fs.Int("bits", 2048, "message bits for the attack-throughput experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suiteCfg := workloads.DefaultSuiteConfig()
+	if *small {
+		suiteCfg = workloads.SmallSuiteConfig()
+	}
+	rows, err := workloads.RunDefenseComparison(suiteCfg, workloads.DefenseConfigs())
+	if err != nil {
+		return err
+	}
+
+	names := []string{"BC", "BFS", "CC", "TC", "XS"}
+	fmt.Printf("%-18s", "defense")
+	for _, n := range names {
+		fmt.Printf(" %8s", n)
+	}
+	fmt.Printf(" %8s\n", "GMEAN")
+	for _, row := range rows {
+		fmt.Printf("%-18s", row.Defense)
+		for _, n := range names {
+			fmt.Printf(" %8.3f", row.Normalized[n])
+		}
+		fmt.Printf(" %8.3f\n", row.GMean)
+	}
+
+	if !*throughput {
+		return nil
+	}
+	fmt.Println()
+	fmt.Println("IMPACT-PnM throughput under ACT (Section 7.4):")
+	msg := core.RandomMessage(*bits, 99)
+	baseline, err := runPnMWith(memctrl.DefaultConfig(), msg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %10.2f Mb/s effective (err %.1f%%)\n", "no defense", baseline.EffectiveThroughputMbps, baseline.ErrorRate*100)
+	for _, d := range workloads.DefenseConfigs() {
+		res, err := runPnMWith(d, msg)
+		if err != nil {
+			return err
+		}
+		reduction := 0.0
+		if baseline.EffectiveThroughputMbps > 0 {
+			reduction = 100 * (1 - res.EffectiveThroughputMbps/baseline.EffectiveThroughputMbps)
+		}
+		fmt.Printf("%-18s %10.2f Mb/s effective (err %.1f%%, reduction %.0f%%)\n",
+			workloads.DefenseName(d), res.EffectiveThroughputMbps, res.ErrorRate*100, reduction)
+	}
+	return nil
+}
+
+func runPnMWith(mem memctrl.Config, msg []bool) (core.Result, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Mem = mem
+	m, err := sim.New(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.RunPnM(m, msg, core.Options{})
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunSmallSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defense suite in -short mode")
+	}
+	if err := run([]string{"-small", "-bits", "256"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Command impact-figures regenerates every table and figure of the paper's
+// evaluation, printing the paper's values next to this reproduction's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "impact-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("impact-figures", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run the full-size experiments (slower)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := figures.ScaleQuick
+	if *full {
+		scale = figures.ScaleFull
+	}
+	reports, err := figures.All(scale)
+	if err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		rep.Render(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure harness in -short mode")
+	}
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+}

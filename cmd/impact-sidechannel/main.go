@@ -1,0 +1,79 @@
+// Command impact-sidechannel runs the genomic read-mapping side channel of
+// Section 4.3, sweeping the number of DRAM banks holding the seeding hash
+// table (Figure 11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/genomics"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "impact-sidechannel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("impact-sidechannel", flag.ContinueOnError)
+	var (
+		refLen = fs.Int("ref-len", 1<<20, "reference genome length (bases)")
+		reads  = fs.Int("reads", 4000, "number of reads the victim maps")
+		sweeps = fs.Int("sweeps", 6, "attacker sweeps over all banks")
+		seed   = fs.Uint64("seed", 7, "experiment seed")
+		single = fs.Int("banks", 0, "run a single bank count instead of the Figure 11 sweep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	bankCounts := []int{1024, 2048, 4096, 8192}
+	if *single > 0 {
+		bankCounts = []int{*single}
+	}
+	fmt.Printf("%-8s %12s %10s %14s %14s\n", "banks", "Mb/s", "err%", "reads mapped", "victim acc%")
+	for _, banks := range bankCounts {
+		res, err := RunOnce(banks, *refLen, *reads, *sweeps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %12.2f %10.2f %14d %14.2f\n",
+			banks, res.ThroughputMbps, res.ErrorRate*100, res.VictimReadsMapped, res.VictimAccuracy*100)
+	}
+	return nil
+}
+
+// RunOnce builds a machine with the given bank count and runs one attack.
+func RunOnce(banks, refLen, numReads, sweeps int, seed uint64) (core.SideChannelResult, error) {
+	cfg := sim.DefaultConfig()
+	cfg.DRAM = cfg.DRAM.WithBanks(banks)
+	// Background activity scales with machine size: a PiM system with 8x
+	// the banks hosts proportionally more co-running processes, which is
+	// what makes the attack "more prone to noise" as banks grow (§6.3).
+	cfg.Noise.EventsPerMCycle = 90 * float64(banks) / 1024
+	m, err := sim.New(cfg)
+	if err != nil {
+		return core.SideChannelResult{}, err
+	}
+
+	ref := genomics.NewReference(refLen, seed)
+	idx, err := genomics.BuildIndex(ref, genomics.DefaultIndexConfig())
+	if err != nil {
+		return core.SideChannelResult{}, err
+	}
+	rds, err := genomics.SampleReads(ref, numReads, 150, 0.02, seed+1)
+	if err != nil {
+		return core.SideChannelResult{}, err
+	}
+	victim, err := genomics.NewMapper(m, m.Core(2), ref, idx, genomics.DefaultBankLayout(banks), rds, genomics.DefaultCosts())
+	if err != nil {
+		return core.SideChannelResult{}, err
+	}
+	return core.RunSideChannel(m, victim, core.SideChannelOptions{Sweeps: sweeps})
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRunOnceSmall(t *testing.T) {
+	res, err := RunOnce(64, 1<<16, 500, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Banks != 64 || res.Probes == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestRunSingleBankCount(t *testing.T) {
+	if err := run([]string{"-banks", "64", "-ref-len", "65536", "-reads", "500", "-sweeps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

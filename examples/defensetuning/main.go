@@ -1,0 +1,76 @@
+// Defense tuning: explore the ACT (adaptive constant-time) design space of
+// the paper's Section 7.4 — the trade-off between workload slowdown and
+// covert-channel throughput reduction as the penalty window and conflict
+// threshold vary.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "defensetuning:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	msg := core.RandomMessage(2048, 5)
+	baseline, err := attackUnder(memctrl.DefaultConfig(), msg)
+	if err != nil {
+		return err
+	}
+
+	configs := []memctrl.ACTConfig{
+		{EpochCycles: 2600, ConflictThreshold: 1, PenaltyEpochs: 2},
+		{EpochCycles: 2600, ConflictThreshold: 1, PenaltyEpochs: 8},
+		{EpochCycles: 2600, ConflictThreshold: 1, PenaltyEpochs: 64},
+		{EpochCycles: 2600, ConflictThreshold: 1, PenaltyEpochs: 512},
+		{EpochCycles: 2600, ConflictThreshold: 1, PenaltyEpochs: 4000},
+		{EpochCycles: 2600, ConflictThreshold: 5, PenaltyEpochs: 64},
+		{EpochCycles: 10400, ConflictThreshold: 1, PenaltyEpochs: 64},
+	}
+
+	suite := workloads.SmallSuiteConfig()
+	fmt.Printf("%-42s %14s %16s\n", "ACT configuration", "slowdown", "attack residual")
+	for _, act := range configs {
+		mem := memctrl.DefaultConfig()
+		mem.Defense = memctrl.DefenseAdaptive
+		mem.ACT = act
+
+		rows, err := workloads.RunDefenseComparison(suite, []memctrl.Config{mem})
+		if err != nil {
+			return err
+		}
+		attack, err := attackUnder(mem, msg)
+		if err != nil {
+			return err
+		}
+		residual := 0.0
+		if baseline.EffectiveThroughputMbps > 0 {
+			residual = 100 * attack.EffectiveThroughputMbps / baseline.EffectiveThroughputMbps
+		}
+		fmt.Printf("epoch=%5dcyc threshold=%d penalty=%4d epochs %13.3fx %15.1f%%\n",
+			act.EpochCycles, act.ConflictThreshold, act.PenaltyEpochs, rows[0].GMean, residual)
+	}
+	fmt.Println("\nslowdown = GMEAN normalized execution time over BC/BFS/CC/TC/XS")
+	fmt.Println("attack residual = IMPACT-PnM effective throughput vs. an undefended system")
+	return nil
+}
+
+func attackUnder(mem memctrl.Config, msg []bool) (core.Result, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Mem = mem
+	m, err := sim.New(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.RunPnM(m, msg, core.Options{})
+}

@@ -1,0 +1,70 @@
+// Genome leak: run the end-to-end side channel of the paper's Section 4.3.
+// A victim process maps synthetic sequencing reads against a reference
+// genome using PiM-offloaded seeding; a co-located attacker sweeps the DRAM
+// banks holding the seeding hash table and reconstructs which buckets the
+// victim touched — the raw material for a DNA imputation attack.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/genomics"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "genomeleak:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const banks = 1024
+
+	cfg := sim.DefaultConfig()
+	cfg.DRAM = cfg.DRAM.WithBanks(banks)
+	cfg.Noise.EventsPerMCycle = 90
+	machine, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The victim's world: a reference genome, its seeding index spread
+	// over DRAM banks, and a batch of reads to map.
+	ref := genomics.NewReference(1<<20, 2024)
+	idx, err := genomics.BuildIndex(ref, genomics.DefaultIndexConfig())
+	if err != nil {
+		return err
+	}
+	reads, err := genomics.SampleReads(ref, 20000, 150, 0.02, 2025)
+	if err != nil {
+		return err
+	}
+	victim, err := genomics.NewMapper(
+		machine, machine.Core(2), ref, idx, genomics.DefaultBankLayout(banks), reads, genomics.DefaultCosts())
+	if err != nil {
+		return err
+	}
+
+	// The attacker: core 3, continuously sweeping all banks.
+	res, err := core.RunSideChannel(machine, victim, core.SideChannelOptions{Sweeps: 6})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("victim: genomic read mapping with PiM-offloaded seeding")
+	fmt.Printf("  reads mapped: %d (%.1f%% placed within 64 bp of the true locus)\n",
+		res.VictimReadsMapped, res.VictimAccuracy*100)
+	fmt.Println("attacker: row-buffer probes over the shared hash table")
+	fmt.Printf("  leakage: %.2f Mb/s at %.2f%% error over %d banks\n",
+		res.ThroughputMbps, res.ErrorRate*100, res.Banks)
+	fmt.Printf("  %d probes, %d correct, %d false positives, %d false negatives\n",
+		res.Probes, res.Correct, res.FalsePositives, res.FalseNegatives)
+	fmt.Println("each correct probe tells the attacker whether the victim's query genome")
+	fmt.Println("contains a seed hashing into that bank's hash-table rows — the input to")
+	fmt.Println("a completion/imputation attack on the private genome (paper §4.3).")
+	return nil
+}

@@ -1,0 +1,45 @@
+// Quickstart: send a text message between two processes through the DRAM
+// row buffer using the IMPACT-PnM covert channel on the simulated
+// PiM-enabled system.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Build the paper's Table 2 system: 4 cores, 3-level caches, 16-bank
+	// DDR4 with PEI and RowClone engines.
+	machine, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	// The sender encodes the message as bits; each 16-bit batch maps one
+	// bit per DRAM bank, encoded as a row-buffer conflict (1) or not (0).
+	secret := "Hello, PiM! Row buffers leak."
+	bits := core.BitsFromBytes([]byte(secret))
+
+	res, err := core.RunPnM(machine, bits, core.Options{})
+	if err != nil {
+		return err
+	}
+
+	received := string(core.BytesFromBits(res.Decoded))
+	fmt.Printf("sent:      %q\n", secret)
+	fmt.Printf("received:  %q\n", received)
+	fmt.Printf("channel:   %.2f Mb/s, error rate %.2f%%, %d simulated cycles\n",
+		res.ThroughputMbps, res.ErrorRate*100, res.Cycles)
+	return nil
+}

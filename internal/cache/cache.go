@@ -1,0 +1,264 @@
+// Package cache models the processor-side cache hierarchy that main-memory
+// timing attacks must bypass: set-associative caches with LRU and SRRIP
+// replacement, clflush semantics, eviction-set construction, and the
+// IP-stride and streamer prefetchers the paper simulates as noise sources.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Level is anything that can serve a memory access: another cache or the
+// memory backend. Access returns the end-to-end latency of serving addr
+// starting at cycle now.
+type Level interface {
+	Access(now int64, addr uint64, write bool) int64
+}
+
+// ReplacementPolicy selects the victim-selection algorithm.
+type ReplacementPolicy int
+
+const (
+	// PolicyLRU evicts the least recently used way.
+	PolicyLRU ReplacementPolicy = iota + 1
+	// PolicySRRIP implements static re-reference interval prediction
+	// (the paper's L2/L3 policy, Jaleel et al.).
+	PolicySRRIP
+)
+
+// String implements fmt.Stringer.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicySRRIP:
+		return "srrip"
+	default:
+		return "unknown"
+	}
+}
+
+const srripMax = 3 // 2-bit RRPV
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse orders LRU; rrpv drives SRRIP.
+	lastUse int64
+	rrpv    uint8
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// Latency is the lookup latency in cycles (hit cost, and the tag
+	// probe cost paid on the way to a miss).
+	Latency int64
+	Policy  ReplacementPolicy
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint64
+	lines    [][]line
+	next     Level
+	counters *stats.Counters
+	tick     int64 // logical use counter for LRU ordering
+	onEvict  func(addr uint64)
+}
+
+// New builds a cache level backed by next. Geometry must be power-of-two.
+func New(cfg Config, next Level) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %s: non-positive ways %d", cfg.Name, cfg.Ways)
+	}
+	numLines := cfg.SizeBytes / cfg.LineBytes
+	if numLines <= 0 || numLines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible by %d ways", cfg.Name, numLines, cfg.Ways)
+	}
+	sets := numLines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", cfg.Name, sets)
+	}
+	var lineBits uint
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		lineBits++
+	}
+	lines := make([][]line, sets)
+	for i := range lines {
+		lines[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: lineBits,
+		setMask:  uint64(sets - 1),
+		lines:    lines,
+		next:     next,
+		counters: stats.NewCounters(),
+	}, nil
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// LineBits returns log2 of the line size.
+func (c *Cache) LineBits() uint { return c.lineBits }
+
+// Counters exposes hit/miss/writeback statistics.
+func (c *Cache) Counters() *stats.Counters { return c.counters }
+
+// SetIndex returns the set an address maps to.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int((addr >> c.lineBits) & c.setMask)
+}
+
+func (c *Cache) tagOf(addr uint64) uint64 {
+	return addr >> c.lineBits >> uint(setBits(c.sets))
+}
+
+func setBits(sets int) int {
+	b := 0
+	for s := sets; s > 1; s >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Access serves a load or store, returning its latency.
+func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
+	c.tick++
+	set := c.SetIndex(addr)
+	tag := c.tagOf(addr)
+	ways := c.lines[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.counters.Inc("hit", 1)
+			c.touch(&ways[i])
+			if write {
+				ways[i].dirty = true
+			}
+			return c.cfg.Latency
+		}
+	}
+	c.counters.Inc("miss", 1)
+	// Miss: probe cost, fill from next level, insert.
+	fill := c.next.Access(now+c.cfg.Latency, addr, false)
+	victim := c.selectVictim(ways)
+	if ways[victim].valid {
+		wbAddr := c.reconstruct(ways[victim].tag, set)
+		if ways[victim].dirty {
+			c.counters.Inc("writeback", 1)
+			// Writebacks happen off the critical path but still disturb
+			// DRAM state; model the access without charging the requester.
+			c.next.Access(now+c.cfg.Latency, wbAddr, true)
+		}
+		if c.onEvict != nil {
+			// Inclusive-hierarchy back-invalidation: dropping a line
+			// from this level removes it from the levels above, which
+			// is what makes eviction-set attacks on the LLC work.
+			c.onEvict(wbAddr)
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lastUse: c.tick, rrpv: srripMax - 1}
+	return c.cfg.Latency + fill
+}
+
+// touch updates replacement metadata on a hit.
+func (c *Cache) touch(l *line) {
+	l.lastUse = c.tick
+	l.rrpv = 0
+}
+
+// selectVictim picks the way to evict in a full set.
+func (c *Cache) selectVictim(ways []line) int {
+	for i := range ways {
+		if !ways[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Policy {
+	case PolicySRRIP:
+		for {
+			for i := range ways {
+				if ways[i].rrpv >= srripMax {
+					return i
+				}
+			}
+			for i := range ways {
+				ways[i].rrpv++
+			}
+		}
+	default: // LRU
+		victim := 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lastUse < ways[victim].lastUse {
+				victim = i
+			}
+		}
+		return victim
+	}
+}
+
+// reconstruct rebuilds a line-aligned address from tag and set.
+func (c *Cache) reconstruct(tag uint64, set int) uint64 {
+	return (tag<<uint(setBits(c.sets))|uint64(set))<<c.lineBits | 0
+}
+
+// SetEvictHook installs a callback invoked with the address of every line
+// this cache evicts, enabling inclusive back-invalidation of upper levels.
+func (c *Cache) SetEvictHook(hook func(addr uint64)) {
+	c.onEvict = hook
+}
+
+// Contains reports whether addr is currently cached at this level.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.SetIndex(addr)
+	tag := c.tagOf(addr)
+	for _, l := range c.lines[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr from this level, returning whether it was present
+// and whether the dropped line was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set := c.SetIndex(addr)
+	tag := c.tagOf(addr)
+	ways := c.lines[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			present, dirty = true, ways[i].dirty
+			ways[i] = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// FlushAll invalidates every line (used between experiments).
+func (c *Cache) FlushAll() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			c.lines[s][w] = line{}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"testing"
+)
+
+// fixedMem is a test backend with a constant latency that records accesses.
+type fixedMem struct {
+	latency  int64
+	accesses []uint64
+	writes   []uint64
+}
+
+var _ Level = (*fixedMem)(nil)
+
+func (m *fixedMem) Access(_ int64, addr uint64, write bool) int64 {
+	if write {
+		m.writes = append(m.writes, addr)
+	} else {
+		m.accesses = append(m.accesses, addr)
+	}
+	return m.latency
+}
+
+func smallCache(t *testing.T, policy ReplacementPolicy, next Level) *Cache {
+	t.Helper()
+	c, err := New(Config{
+		Name: "test", SizeBytes: 4096, Ways: 4, LineBytes: 64, Latency: 10, Policy: policy,
+	}, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	bad := []Config{
+		{Name: "badline", SizeBytes: 4096, Ways: 4, LineBytes: 48, Latency: 1},
+		{Name: "badways", SizeBytes: 4096, Ways: 0, LineBytes: 64, Latency: 1},
+		{Name: "badsets", SizeBytes: 4096 + 64, Ways: 4, LineBytes: 64, Latency: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, next); err == nil {
+			t.Errorf("config %q accepted", cfg.Name)
+		}
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	c := smallCache(t, PolicyLRU, next)
+	if lat := c.Access(0, 0x1000, false); lat != 110 {
+		t.Fatalf("miss latency = %d, want 110 (lookup + fill)", lat)
+	}
+	if lat := c.Access(0, 0x1000, false); lat != 10 {
+		t.Fatalf("hit latency = %d, want 10", lat)
+	}
+	if !c.Contains(0x1000) {
+		t.Fatal("line not cached after fill")
+	}
+	if got := c.Counters().Get("hit"); got != 1 {
+		t.Fatalf("hit counter = %d, want 1", got)
+	}
+}
+
+func TestCacheSameLineDifferentOffsets(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	c := smallCache(t, PolicyLRU, next)
+	c.Access(0, 0x1000, false)
+	if lat := c.Access(0, 0x1030, false); lat != 10 {
+		t.Fatalf("same-line access latency = %d, want hit", lat)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	c := smallCache(t, PolicyLRU, next) // 16 sets, 4 ways
+	stride := uint64(c.Sets()) << c.LineBits()
+	// Fill one set with 4 distinct tags, then touch the first again so
+	// the second becomes LRU, then insert a fifth.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(0, i*stride, false)
+	}
+	c.Access(0, 0, false) // refresh tag 0
+	c.Access(0, 4*stride, false)
+	if c.Contains(1 * stride) {
+		t.Fatal("LRU victim (tag 1) still present")
+	}
+	if !c.Contains(0) {
+		t.Fatal("recently used tag 0 evicted")
+	}
+}
+
+func TestCacheSRRIPEvictsNonReused(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	c := smallCache(t, PolicySRRIP, next)
+	stride := uint64(c.Sets()) << c.LineBits()
+	for i := uint64(0); i < 4; i++ {
+		c.Access(0, i*stride, false)
+	}
+	// Promote tag 0 to RRPV 0; a new insertion must not victimize it.
+	c.Access(0, 0, false)
+	c.Access(0, 4*stride, false)
+	if !c.Contains(0) {
+		t.Fatal("SRRIP evicted the re-referenced line")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	c := smallCache(t, PolicyLRU, next)
+	stride := uint64(c.Sets()) << c.LineBits()
+	c.Access(0, 0, true) // dirty line
+	for i := uint64(1); i <= 4; i++ {
+		c.Access(0, i*stride, false)
+	}
+	if len(next.writes) != 1 {
+		t.Fatalf("writebacks = %d, want 1", len(next.writes))
+	}
+	if got := c.Counters().Get("writeback"); got != 1 {
+		t.Fatalf("writeback counter = %d, want 1", got)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	c := smallCache(t, PolicyLRU, next)
+	c.Access(0, 0x2000, true)
+	present, dirty := c.Invalidate(0x2000)
+	if !present || !dirty {
+		t.Fatalf("Invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if c.Contains(0x2000) {
+		t.Fatal("line still present after Invalidate")
+	}
+	present, _ = c.Invalidate(0x2000)
+	if present {
+		t.Fatal("second Invalidate reported present")
+	}
+}
+
+func TestCacheEvictHook(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	c := smallCache(t, PolicyLRU, next)
+	var evicted []uint64
+	c.SetEvictHook(func(addr uint64) { evicted = append(evicted, addr) })
+	stride := uint64(c.Sets()) << c.LineBits()
+	for i := uint64(0); i <= 4; i++ {
+		c.Access(0, i*stride, false)
+	}
+	if len(evicted) != 1 {
+		t.Fatalf("evict hook fired %d times, want 1", len(evicted))
+	}
+	if evicted[0] != 0 {
+		t.Fatalf("evicted address = %#x, want 0 (the LRU line)", evicted[0])
+	}
+}
+
+func TestCacheFlushAll(t *testing.T) {
+	next := &fixedMem{latency: 100}
+	c := smallCache(t, PolicyLRU, next)
+	c.Access(0, 0x3000, false)
+	c.FlushAll()
+	if c.Contains(0x3000) {
+		t.Fatal("line survived FlushAll")
+	}
+}

@@ -1,0 +1,65 @@
+package cacti
+
+import "testing"
+
+func TestLLCLatencyAnchors(t *testing.T) {
+	// Fitted to Table 2's anchor points: 2 MB L2 at 16 cycles and an 8 MB
+	// LLC at ~50 cycles.
+	if got := LLCLatency(2); got < 14 || got > 18 {
+		t.Errorf("LLCLatency(2MB) = %d, want ~16", got)
+	}
+	if got := LLCLatency(8); got < 45 || got > 55 {
+		t.Errorf("LLCLatency(8MB) = %d, want ~50", got)
+	}
+}
+
+func TestLLCLatencyMonotonicInSize(t *testing.T) {
+	prev := int64(0)
+	for _, mb := range []float64{1, 2, 4, 8, 16, 32, 64, 128} {
+		got := LLCLatency(mb)
+		if got <= prev {
+			t.Fatalf("latency not increasing at %v MB: %d <= %d", mb, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLLCLatencyClampsSmall(t *testing.T) {
+	if got, want := LLCLatency(0.25), LLCLatency(1); got != want {
+		t.Errorf("sub-MB latency = %d, want clamp to %d", got, want)
+	}
+}
+
+func TestLLCLatencyWaysAdjustment(t *testing.T) {
+	base := LLCLatencyWays(16, 16)
+	wide := LLCLatencyWays(16, 128)
+	narrow := LLCLatencyWays(16, 2)
+	if wide <= base {
+		t.Errorf("128-way latency %d not above 16-way %d", wide, base)
+	}
+	if narrow >= base {
+		t.Errorf("2-way latency %d not below 16-way %d", narrow, base)
+	}
+	if LLCLatencyWays(16, 0) <= 0 {
+		t.Error("zero ways produced non-positive latency")
+	}
+}
+
+func TestEvictionLatencyScalesWithWays(t *testing.T) {
+	prev := int64(0)
+	for _, ways := range []int{2, 4, 8, 16, 32, 64, 128} {
+		got := EvictionLatency(16, ways, 104, 0.3)
+		if got <= prev {
+			t.Fatalf("eviction latency not increasing at %d ways: %d <= %d", ways, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEvictionLatencyScalesWithSize(t *testing.T) {
+	small := EvictionLatency(4, 16, 104, 0.3)
+	large := EvictionLatency(128, 16, 104, 0.3)
+	if large < 3*small {
+		t.Errorf("128MB eviction %d not >> 4MB eviction %d", large, small)
+	}
+}

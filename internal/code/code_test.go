@@ -1,0 +1,161 @@
+package code
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestHammingRoundTripClean(t *testing.T) {
+	check := func(raw []byte) bool {
+		data := make([]bool, len(raw))
+		for i, b := range raw {
+			data[i] = b&1 == 1
+		}
+		coded := EncodeHamming74(data)
+		decoded, corrections, err := DecodeHamming74(coded, len(data))
+		if err != nil || corrections != 0 {
+			return false
+		}
+		for i := range data {
+			if decoded[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingCorrectsAnySingleBitError(t *testing.T) {
+	data := []bool{true, false, true, true, false, false, true, false}
+	coded := EncodeHamming74(data)
+	for flip := range coded {
+		corrupted := make([]bool, len(coded))
+		copy(corrupted, coded)
+		corrupted[flip] = !corrupted[flip]
+		decoded, corrections, err := DecodeHamming74(corrupted, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrections != 1 {
+			t.Fatalf("flip at %d: corrections = %d, want 1", flip, corrections)
+		}
+		for i := range data {
+			if decoded[i] != data[i] {
+				t.Fatalf("flip at %d not corrected (bit %d)", flip, i)
+			}
+		}
+	}
+}
+
+func TestHammingExpansionRatio(t *testing.T) {
+	coded := EncodeHamming74(make([]bool, 16))
+	if len(coded) != 28 {
+		t.Fatalf("16 data bits encoded to %d, want 28", len(coded))
+	}
+	// Padding: 5 bits pad to 8 -> 2 blocks -> 14 coded bits.
+	if got := len(EncodeHamming74(make([]bool, 5))); got != 14 {
+		t.Fatalf("5 data bits encoded to %d, want 14", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeHamming74(make([]bool, 7), -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	if _, _, err := DecodeHamming74(make([]bool, 6), 4); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	check := func(raw []byte, depthRaw uint8) bool {
+		depth := int(depthRaw)%40 + 1
+		bits := make([]bool, len(raw))
+		for i, b := range raw {
+			bits[i] = b&1 == 1
+		}
+		back := Deinterleave(Interleave(bits, depth), depth)
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return len(back) == len(bits)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveSpreadsBursts(t *testing.T) {
+	// A burst of consecutive channel errors up to the interleaver's row
+	// count (codedLen / depth) lands depth-strided in the original
+	// stream, so each Hamming block sees at most one error and the whole
+	// burst is corrected.
+	data := make([]bool, 64)
+	coded := Interleave(EncodeHamming74(data), InterleaveDepth)
+	burst := len(coded) / InterleaveDepth
+	for i := 0; i < burst; i++ {
+		coded[i] = !coded[i]
+	}
+	decoded, corrections, err := DecodeHamming74(Deinterleave(coded, InterleaveDepth), len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrections != burst {
+		t.Fatalf("corrections = %d, want %d (one per codeword)", corrections, burst)
+	}
+	for i, bit := range decoded {
+		if bit {
+			t.Fatalf("residual error at bit %d after burst correction", i)
+		}
+	}
+}
+
+func TestSendReliableOverNoisyChannel(t *testing.T) {
+	rng := stats.NewRNG(99)
+	// A channel flipping 1% of bits, uniformly.
+	noisy := func(bits []bool) ([]bool, error) {
+		out := make([]bool, len(bits))
+		copy(out, bits)
+		for i := range out {
+			if rng.Bool(0.01) {
+				out[i] = !out[i]
+			}
+		}
+		return out, nil
+	}
+	data := make([]bool, 4096)
+	for i := range data {
+		data[i] = rng.Bool(0.5)
+	}
+	res, err := SendReliable(noisy, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corrections == 0 {
+		t.Fatal("noisy channel produced no corrections")
+	}
+	// With a 1% crossover, double-error blocks survive at about
+	// C(7,2)*p^2 ~ 0.2% of blocks; coding must still improve on the raw
+	// rate by a wide margin.
+	residual := float64(res.ResidualErrors) / float64(len(data))
+	if residual > 0.004 {
+		t.Fatalf("residual error rate %.4f too high after coding", residual)
+	}
+	if res.RawBits != len(EncodeHamming74(data)) {
+		t.Fatalf("raw bits = %d", res.RawBits)
+	}
+}
+
+func TestSendReliableLengthMismatch(t *testing.T) {
+	truncating := func(bits []bool) ([]bool, error) { return bits[:len(bits)-1], nil }
+	if _, err := SendReliable(truncating, make([]bool, 16)); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}

@@ -1,0 +1,48 @@
+package code
+
+import "fmt"
+
+// Channel is any transport that moves a bit slice and reports what arrived.
+// core's covert channels satisfy this shape via small adapters.
+type Channel func(bits []bool) (received []bool, err error)
+
+// ReliableResult reports a coded transmission.
+type ReliableResult struct {
+	// Data is the recovered message.
+	Data []bool
+	// RawBits is the number of channel bits transmitted (overhead 7/4).
+	RawBits int
+	// Corrections is the number of single-bit errors the code fixed.
+	Corrections int
+	// ResidualErrors counts data bits still wrong versus the original
+	// (only multi-error blocks survive the code).
+	ResidualErrors int
+}
+
+// InterleaveDepth spreads bursts across codewords; 28 covers a 16-bit batch
+// of consecutive probes landing in one noisy region plus margin.
+const InterleaveDepth = 28
+
+// SendReliable transmits data over the channel under Hamming(7,4) with
+// interleaving and returns the corrected message.
+func SendReliable(ch Channel, data []bool) (ReliableResult, error) {
+	coded := Interleave(EncodeHamming74(data), InterleaveDepth)
+	received, err := ch(coded)
+	if err != nil {
+		return ReliableResult{}, fmt.Errorf("reliable send: %w", err)
+	}
+	if len(received) != len(coded) {
+		return ReliableResult{}, fmt.Errorf("reliable send: channel returned %d bits, sent %d", len(received), len(coded))
+	}
+	decoded, corrections, err := DecodeHamming74(Deinterleave(received, InterleaveDepth), len(data))
+	if err != nil {
+		return ReliableResult{}, err
+	}
+	res := ReliableResult{Data: decoded, RawBits: len(coded), Corrections: corrections}
+	for i := range data {
+		if decoded[i] != data[i] {
+			res.ResidualErrors++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// RunPnMAdaptive executes the IMPACT-PnM channel with the adaptive attacker
+// of Section 7.4: against the ACT defense, the parties transmit only during
+// epochs in which the banks serve default latency, idling through
+// constant-time penalty windows. The attacker infers padding from its own
+// measurements (every probe at worst-case latency), which the simulation
+// models via the controller's ConstantTimeActive observable.
+//
+// Against ACT-Mild/Conservative the penalties expire between batches and
+// throughput is essentially unaffected; against ACT-Aggressive the 4000-
+// epoch penalties leave almost no usable windows — the trade-off the paper
+// quantifies.
+func RunPnMAdaptive(m *sim.Machine, msg []bool, opt Options) (Result, error) {
+	res := Result{Channel: "IMPACT-PnM-adaptive"}
+	banks := opt.banksOrDefault(m)
+	threshold := opt.Threshold
+	if threshold == 0 {
+		threshold = DefaultThresholdCycles
+	}
+	sender, receiver := m.Core(0), m.Core(1)
+	if sender == nil || receiver == nil {
+		return Result{}, ErrProtocol
+	}
+	ctrl := m.Controller()
+	epoch := m.Config().Mem.ACT.EpochCycles
+	if epoch <= 0 {
+		epoch = 2600
+	}
+
+	sent := sim.NewSemaphore(m)
+	acked := sim.NewSemaphore(m)
+	colsPerRow := m.Config().DRAM.RowBytes / cacheLineBytes
+
+	for _, bank := range banks {
+		if _, err := receiver.PEIAccess(m.AddrFor(bank, receiverInitRow, 0)); err != nil {
+			return Result{}, err
+		}
+	}
+	sender.AdvanceTo(receiver.Now())
+	start := receiver.Now()
+
+	// waitBudget bounds how long the attacker waits out penalties before
+	// giving up on a batch and transmitting anyway (so the run always
+	// terminates even under ACT-Aggressive).
+	waitBudget := int64(64) * epoch
+
+	decoded := make([]bool, 0, len(msg))
+	batch := 0
+	for off := 0; off < len(msg); off += len(banks) {
+		end := off + len(banks)
+		if end > len(msg) {
+			end = len(msg)
+		}
+		bits := msg[off:end]
+		col := ((batch + 1) % colsPerRow) * cacheLineBytes
+		rowBump := int64((batch + 1) / colsPerRow)
+
+		// Adaptive step: idle while any channel bank is padded, up to
+		// the wait budget.
+		waited := int64(0)
+		for waited < waitBudget {
+			padded := false
+			for _, bank := range banks {
+				if ctrl.ConstantTimeActive(sender.Now(), bank) {
+					padded = true
+					break
+				}
+			}
+			if !padded {
+				break
+			}
+			sender.Advance(epoch)
+			waited += epoch
+		}
+		receiver.AdvanceTo(sender.Now())
+
+		sBatch := sender.Now()
+		for i, bit := range bits {
+			sender.Advance(m.Config().Costs.SenderComputeCost)
+			if bit {
+				if _, err := sender.PEIActivate(m.AddrFor(banks[i], senderRow+rowBump, col)); err != nil {
+					return Result{}, err
+				}
+			}
+			sender.LoopTick()
+		}
+		sender.Fence()
+		res.SenderCycles += sender.Now() - sBatch
+		sent.Post(sender)
+
+		if !sent.Wait(receiver) {
+			return Result{}, ErrProtocol
+		}
+		rBatch := receiver.Now()
+		for i := range bits {
+			t0 := receiver.Rdtscp()
+			if _, err := receiver.PEIAccess(m.AddrFor(banks[i], receiverInitRow+rowBump, col)); err != nil {
+				return Result{}, err
+			}
+			t1 := receiver.Rdtscp()
+			lat := opt.filterMaintenance(t1-t0, threshold)
+			if opt.RecordLatencies {
+				res.Latencies = append(res.Latencies, lat)
+			}
+			decoded = append(decoded, lat > threshold)
+			receiver.Advance(m.Config().Costs.DecodeCost)
+			receiver.LoopTick()
+		}
+		receiver.Fence()
+		res.ReceiverCycles += receiver.Now() - rBatch
+		acked.Post(receiver)
+		if !acked.Wait(sender) {
+			return Result{}, ErrProtocol
+		}
+		batch++
+		m.AdvanceNoise(receiver.Now())
+	}
+
+	res.finalize(msg, decoded, receiver.Now()-start)
+	return res, nil
+}

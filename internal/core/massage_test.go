@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+func TestMassageFindsColocatedPairs(t *testing.T) {
+	for _, scheme := range []dram.MappingScheme{dram.MapRowInterleaved, dram.MapBankXOR} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := sim.DefaultConfig()
+			cfg.Noise.EventsPerMCycle = 0
+			cfg.Mapping = scheme
+			m, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := MassageMemory(m, m.Core(0), 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Pairs) != 8 {
+				t.Fatalf("pairs = %d, want 8", len(res.Pairs))
+			}
+			if err := VerifyColocation(m, res); err != nil {
+				t.Fatalf("timing-discovered pairs wrong: %v", err)
+			}
+			if res.ProbeCount == 0 || res.Cycles == 0 {
+				t.Fatal("massaging cost nothing; accounting broken")
+			}
+		})
+	}
+}
+
+func TestMassageInputValidation(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Noise.EventsPerMCycle = 0
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MassageMemory(m, m.Core(0), 0); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := MassageMemory(m, m.Core(0), 1000); err == nil {
+		t.Error("more banks than the device has accepted")
+	}
+}
+
+func TestMassageFailsUnderConstantTime(t *testing.T) {
+	// With the CTD defense, timing carries no bank information; the
+	// search must fail rather than return bogus pairs.
+	cfg := sim.DefaultConfig()
+	cfg.Noise.EventsPerMCycle = 0
+	cfg.Mem.Defense = memctrl.DefenseConstantTime
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MassageMemory(m, m.Core(0), 8)
+	if !errors.Is(err, ErrMassageFailed) {
+		t.Fatalf("massaging under CTD returned %v, want ErrMassageFailed", err)
+	}
+}

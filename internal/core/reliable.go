@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/code"
+	"repro/internal/sim"
+)
+
+// ReliableResult combines the coded-transmission statistics with the
+// underlying channel's timing.
+type ReliableResult struct {
+	// Raw is the underlying channel result for the coded bit stream.
+	Raw Result
+	// Coded carries correction statistics from the FEC layer.
+	Coded code.ReliableResult
+	// GoodputMbps is corrected data bits per second: the useful rate
+	// after the 7/4 coding overhead.
+	GoodputMbps float64
+}
+
+// RunReliable transmits data bits over any covert channel under the
+// Hamming(7,4)+interleaving layer of internal/code — the practical framing
+// an attacker deploys so that residual channel noise (prefetchers, page
+// walks, refresh) does not corrupt the exfiltrated payload.
+func RunReliable(
+	m *sim.Machine,
+	data []bool,
+	opt Options,
+	run func(*sim.Machine, []bool, Options) (Result, error),
+) (ReliableResult, error) {
+	var raw Result
+	coded, err := code.SendReliable(func(bits []bool) ([]bool, error) {
+		var err error
+		raw, err = run(m, bits, opt)
+		if err != nil {
+			return nil, err
+		}
+		return raw.Decoded, nil
+	}, data)
+	if err != nil {
+		return ReliableResult{}, err
+	}
+	good := int64(len(data) - coded.ResidualErrors)
+	return ReliableResult{
+		Raw:         raw,
+		Coded:       coded,
+		GoodputMbps: sim.ThroughputMbps(good, raw.Cycles),
+	}, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/genomics"
+	"repro/internal/sim"
+)
+
+// attackerProbeRow is the attacker's own co-located row in each bank,
+// distinct from the hash table rows so a probe that finds the attacker's row
+// still latched means "no victim activity".
+const attackerProbeRow = 50
+
+// SideChannelOptions configures the Section 4.3 attack.
+type SideChannelOptions struct {
+	// Sweeps is how many times the attacker scans every bank.
+	Sweeps int
+	// Threshold is the conflict decode threshold (0 = paper's 150).
+	Threshold int64
+}
+
+// SideChannelResult reports the genomic read-mapping side channel.
+type SideChannelResult struct {
+	// Banks the attacker probed.
+	Banks int
+	// Probes and Correct count binary activity inferences and how many
+	// matched the victim's ground-truth accesses.
+	Probes  int64
+	Correct int64
+	// ThroughputMbps counts correctly leaked bits per second (Section
+	// 5.2.3: throughput is measured on successfully leaked data only).
+	ThroughputMbps float64
+	// ErrorRate is the fraction of wrong inferences.
+	ErrorRate float64
+	// VictimReadsMapped and VictimAccuracy report that the victim was
+	// doing real work while being spied on.
+	VictimReadsMapped int
+	VictimAccuracy    float64
+	// CandidateEntries is how many hash-table entries a correct positive
+	// detection narrows the victim's access to, and PrecisionBits the
+	// information that narrowing carries (log2 of table/candidates). As
+	// banks grow, candidates shrink and precision rises — the Section
+	// 6.3 observation that more banks leak more exact information.
+	CandidateEntries int
+	PrecisionBits    float64
+	// AttackerCycles is the attack duration on the simulated clock.
+	AttackerCycles int64
+	// FalsePositives counts probes that inferred activity in a quiet
+	// bank; FalseNegatives the reverse; TruePositiveWindows counts
+	// probe windows in which the victim really was active.
+	FalsePositives      int64
+	FalseNegatives      int64
+	TruePositiveWindows int64
+}
+
+// String summarizes the result.
+func (r SideChannelResult) String() string {
+	return fmt.Sprintf("side-channel over %d banks: %.2f Mb/s, error %.2f%% (%d probes)",
+		r.Banks, r.ThroughputMbps, r.ErrorRate*100, r.Probes)
+}
+
+// RunSideChannel executes the IMPACT side-channel attack of Section 4.3
+// against a genomic read-mapping victim. The attacker continuously sweeps
+// all DRAM banks holding the shared hash table, timing one PEI per bank: a
+// row-buffer conflict against its own co-located row means the victim's
+// seeding step activated a hash-table row in that bank since the last probe.
+// Victim and attacker run interleaved on the simulated clock.
+func RunSideChannel(m *sim.Machine, victim *genomics.Mapper, opt SideChannelOptions) (SideChannelResult, error) {
+	threshold := opt.Threshold
+	if threshold == 0 {
+		threshold = DefaultThresholdCycles
+	}
+	sweeps := opt.Sweeps
+	if sweeps <= 0 {
+		sweeps = 8
+	}
+	attacker := m.Core(3)
+	if attacker == nil {
+		attacker = m.Core(m.NumCores() - 1)
+	}
+	banks := victim.Layout().Banks
+	costs := m.Config().Costs
+
+	// Ground truth: a per-bank generation counter bumped on every victim
+	// touch. Device state mutates in execution order, so generations —
+	// not simulated timestamps, which can run ahead of the attacker's
+	// clock — define exactly what a probe could have observed.
+	touchGen := make([]int64, banks)
+	victim.SetTouchFunc(func(bank int, _ int64, _ int64) {
+		if bank >= 0 && bank < banks {
+			touchGen[bank]++
+		}
+	})
+
+	// The probe column alternates between the two 4 KiB pages of each
+	// 8 KiB row so probe VPNs spread over all TLB sets.
+	probeAddr := func(bank int) uint64 {
+		return m.AddrFor(bank, attackerProbeRow, (bank%2)*4096)
+	}
+
+	// Attacker initialization: open its own row in every bank (and warm
+	// its TLB over the probe pages, per the paper's warm-up phase).
+	for b := 0; b < banks; b++ {
+		if _, err := attacker.PEIAccess(probeAddr(b)); err != nil {
+			return SideChannelResult{}, err
+		}
+	}
+	seenGen := make([]int64, banks)
+	copy(seenGen, touchGen)
+
+	res := SideChannelResult{Banks: banks}
+	start := attacker.Now()
+
+	probeOne := func(bank int) error {
+		attacker.Advance(costs.SideProbeBookkeeping)
+		// Preload the translation so a page walk (frequent once the probe
+		// set outgrows the TLBs) slows the sweep but cannot corrupt the
+		// timed measurement.
+		attacker.TranslateTouch(probeAddr(bank))
+		t0 := attacker.Rdtscp()
+		if _, err := attacker.PEIAccess(probeAddr(bank)); err != nil {
+			return err
+		}
+		t1 := attacker.Rdtscp()
+		attacker.Advance(costs.DecodeCost)
+		attacker.LoopTick()
+
+		inferredActive := t1-t0 > threshold
+		trulyActive := touchGen[bank] != seenGen[bank]
+		res.Probes++
+		switch {
+		case inferredActive == trulyActive:
+			res.Correct++
+		case inferredActive:
+			res.FalsePositives++
+		default:
+			res.FalseNegatives++
+		}
+		if trulyActive {
+			res.TruePositiveWindows++
+		}
+		seenGen[bank] = touchGen[bank]
+		return nil
+	}
+
+	// Interleave victim and attacker by simulated time: whichever clock
+	// is behind advances, so bank state evolves in causal order.
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for b := 0; b < banks; b++ {
+			for !victim.Done() && victim.Now() <= attacker.Now() {
+				if err := victim.Step(); err != nil {
+					return SideChannelResult{}, err
+				}
+			}
+			if err := probeOne(b); err != nil {
+				return SideChannelResult{}, err
+			}
+		}
+		m.AdvanceNoise(attacker.Now())
+	}
+
+	res.AttackerCycles = attacker.Now() - start
+	res.ThroughputMbps = sim.ThroughputMbps(res.Correct, res.AttackerCycles)
+	if res.Probes > 0 {
+		res.ErrorRate = float64(res.Probes-res.Correct) / float64(res.Probes)
+	}
+	res.VictimReadsMapped = len(victim.Results())
+	res.VictimAccuracy = victim.Accuracy(64)
+	buckets := victim.IndexBuckets()
+	res.CandidateEntries = (buckets + banks - 1) / banks
+	if res.CandidateEntries > 0 {
+		res.PrecisionBits = math.Log2(float64(buckets) / float64(res.CandidateEntries))
+	}
+	return res, nil
+}

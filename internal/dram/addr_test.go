@@ -1,0 +1,89 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrMapperRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, scheme := range []MappingScheme{MapRowInterleaved, MapBankXOR} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			m, err := NewAddrMapper(cfg, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(bankRaw uint8, rowRaw uint16, colRaw uint16) bool {
+				bank := int(bankRaw) % cfg.TotalBanks()
+				row := int64(rowRaw)
+				col := int(colRaw) % cfg.RowBytes
+				addr := m.Compose(bank, row, col)
+				coord := m.Map(addr)
+				return coord.FlatBank(cfg) == bank && coord.Row == row && coord.Col == col
+			}
+			if err := quick.Check(check, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAddrMapperXORSpreadsRows(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := NewAddrMapper(cfg, MapBankXOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive rows at a fixed raw bank field must land in different
+	// banks under the XOR scheme.
+	banks := make(map[int]bool)
+	for row := int64(0); row < 16; row++ {
+		addr := (uint64(row)<<4 | 0) << 13 // raw bank field 0
+		banks[m.FlatBankOf(addr)] = true
+	}
+	if len(banks) < 8 {
+		t.Fatalf("XOR mapping only used %d banks for 16 consecutive rows", len(banks))
+	}
+}
+
+func TestAddrMapperRowInterleavedKeepsBank(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := NewAddrMapper(cfg, MapRowInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Compose(3, 100, 0)
+	for col := 0; col < cfg.RowBytes; col += 1024 {
+		if got := m.FlatBankOf(base + uint64(col)); got != 3 {
+			t.Fatalf("col %d moved to bank %d", col, got)
+		}
+	}
+}
+
+func TestAddrMapperRejectsBadGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RowBytes = 1000 // not a power of two
+	if _, err := NewAddrMapper(cfg, MapRowInterleaved); err == nil {
+		t.Fatal("expected error for non-power-of-two row size")
+	}
+	cfg = DefaultConfig()
+	cfg.BanksPerGroup = 3
+	if _, err := NewAddrMapper(cfg, MapRowInterleaved); err == nil {
+		t.Fatal("expected error for non-power-of-two bank count")
+	}
+}
+
+func TestCoordFlatBankRoundTrip(t *testing.T) {
+	cfg := Config{Channels: 2, Ranks: 2, BankGroups: 4, BanksPerGroup: 4, RowBytes: 8192, RowsPerBank: 16}
+	m, err := NewAddrMapper(cfg, MapRowInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for flat := 0; flat < cfg.TotalBanks(); flat++ {
+		coord := m.split(flat, 0, 0)
+		if got := coord.FlatBank(cfg); got != flat {
+			t.Fatalf("flat bank %d round-tripped to %d (coord %+v)", flat, got, coord)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package dram
+
+// Bank models one DRAM bank: a two-dimensional array of cells fronted by a
+// row buffer. The row buffer is the shared microarchitectural state that the
+// IMPACT timing channel exploits. Banks also hold functional row contents so
+// that RowClone bulk copies can be verified end to end, not just timed.
+type Bank struct {
+	timing Timing
+	maint  Maintenance
+	// raa counts activations toward the RowHammer-mitigation threshold.
+	raa int
+
+	// openRow is the row currently latched in the row buffer, or -1 when
+	// the bank is precharged.
+	openRow int64
+	// busyUntil is the cycle at which the bank finishes its current
+	// operation; new commands stall until then.
+	busyUntil int64
+	// activatedAt is the cycle of the most recent activation, used to
+	// enforce tRAS before a precharge.
+	activatedAt int64
+	// lastTouch is the cycle of the most recent access, used by the
+	// open-row timeout policy.
+	lastTouch int64
+
+	rowBytes int
+	rows     map[int64][]byte
+}
+
+// NewBank returns a precharged bank with the given timing and row size.
+func NewBank(timing Timing, rowBytes int) *Bank {
+	return &Bank{
+		timing:   timing,
+		openRow:  -1,
+		rowBytes: rowBytes,
+		rows:     make(map[int64][]byte),
+	}
+}
+
+// SetMaintenance configures refresh and RowHammer-mitigation behaviour.
+func (b *Bank) SetMaintenance(m Maintenance) { b.maint = m }
+
+// OpenRow returns the row currently in the row buffer, or -1 if precharged.
+// It does not apply the timeout policy; callers that want timeout semantics
+// should use Access.
+func (b *Bank) OpenRow() int64 { return b.openRow }
+
+// BusyUntil returns the cycle at which the bank becomes free.
+func (b *Bank) BusyUntil() int64 { return b.busyUntil }
+
+// applyTimeout closes the row if it has sat untouched past the open-row
+// timeout, emulating the controller's timeout-based precharge.
+func (b *Bank) applyTimeout(now int64) {
+	if b.openRow >= 0 && b.timing.RowTimeout > 0 && now-b.lastTouch > b.timing.RowTimeout {
+		b.openRow = -1
+	}
+}
+
+// start returns the cycle at which a new command can begin, accounting for
+// the bank being busy and for refresh windows; a refresh that happened
+// since the last touch precharges the open row.
+func (b *Bank) start(now int64) int64 {
+	if b.busyUntil > now {
+		now = b.busyUntil
+	}
+	adjusted, rowsClosed := b.maint.refreshAdjust(now, b.lastTouch)
+	if rowsClosed {
+		b.openRow = -1
+	}
+	return adjusted
+}
+
+// activationPenalty accounts one activation against the RowHammer
+// mitigation budget (RFM/PRAC), returning the preventive-action stall when
+// the threshold is reached (Section 8.4).
+func (b *Bank) activationPenalty() int64 {
+	if b.maint.MitigationThreshold <= 0 {
+		return 0
+	}
+	b.raa++
+	if b.raa >= b.maint.MitigationThreshold {
+		b.raa = 0
+		return b.maint.MitigationPenalty
+	}
+	return 0
+}
+
+// Access performs a read or write of the given row, returning the access
+// latency relative to now and the row-buffer outcome.
+func (b *Bank) Access(now int64, row int64) AccessResult {
+	b.applyTimeout(now)
+	start := b.start(now)
+	var outcome Outcome
+	var deviceLat int64
+	switch {
+	case b.openRow == row:
+		outcome = OutcomeHit
+		deviceLat = b.timing.HitLatency()
+	case b.openRow < 0:
+		outcome = OutcomeEmpty
+		deviceLat = b.timing.EmptyLatency() + b.activationPenalty()
+		b.activatedAt = start
+	default:
+		outcome = OutcomeConflict
+		// The precharge cannot begin until tRAS has elapsed since the
+		// open row's activation.
+		rasReady := b.activatedAt + b.timing.TRAS
+		if rasReady > start {
+			start = rasReady
+		}
+		deviceLat = b.timing.ConflictLatency() + b.activationPenalty()
+		b.activatedAt = start + b.timing.TRP
+	}
+	done := start + deviceLat
+	b.openRow = row
+	b.busyUntil = done
+	b.lastTouch = done
+	return AccessResult{Latency: done - now, Outcome: outcome, CompletedAt: done}
+}
+
+// Activate opens the given row without transferring data (used by sender
+// PEIs that only need to perturb the row buffer). Latency accounting matches
+// Access minus the column access and burst.
+func (b *Bank) Activate(now int64, row int64) AccessResult {
+	b.applyTimeout(now)
+	start := b.start(now)
+	var outcome Outcome
+	var deviceLat int64
+	switch {
+	case b.openRow == row:
+		outcome = OutcomeHit
+		deviceLat = 1 // row already open; nothing to do
+	case b.openRow < 0:
+		outcome = OutcomeEmpty
+		deviceLat = b.timing.TRCD + b.activationPenalty()
+		b.activatedAt = start
+	default:
+		outcome = OutcomeConflict
+		rasReady := b.activatedAt + b.timing.TRAS
+		if rasReady > start {
+			start = rasReady
+		}
+		deviceLat = b.timing.TRP + b.timing.TRCD + b.activationPenalty()
+		b.activatedAt = start + b.timing.TRP
+	}
+	done := start + deviceLat
+	b.openRow = row
+	b.busyUntil = done
+	b.lastTouch = done
+	return AccessResult{Latency: done - now, Outcome: outcome, CompletedAt: done}
+}
+
+// Precharge closes the bank's open row. It is idempotent.
+func (b *Bank) Precharge(now int64) AccessResult {
+	b.applyTimeout(now)
+	start := b.start(now)
+	if b.openRow < 0 {
+		return AccessResult{Latency: 0, Outcome: OutcomeEmpty, CompletedAt: start}
+	}
+	rasReady := b.activatedAt + b.timing.TRAS
+	if rasReady > start {
+		start = rasReady
+	}
+	done := start + b.timing.TRP
+	b.openRow = -1
+	b.busyUntil = done
+	b.lastTouch = done
+	return AccessResult{Latency: done - now, Outcome: OutcomeConflict, CompletedAt: done}
+}
+
+// RowClone performs an in-DRAM Fast-Parallel-Mode copy of srcRow into
+// dstRow: the first activation latches srcRow into the row buffer, the
+// second connects dstRow so the buffered data overwrites it. If a different
+// row is open the bank must first precharge, which is the timing signal the
+// IMPACT-PuM receiver decodes.
+func (b *Bank) RowClone(now int64, srcRow, dstRow int64) AccessResult {
+	b.applyTimeout(now)
+	start := b.start(now)
+	var outcome Outcome
+	var deviceLat int64
+	switch {
+	case b.openRow == srcRow:
+		// Source already latched: only the second activation is needed.
+		outcome = OutcomeHit
+		deviceLat = b.timing.RowCloneFPM
+	case b.openRow < 0:
+		outcome = OutcomeEmpty
+		deviceLat = b.timing.TRCD + b.timing.RowCloneFPM + b.activationPenalty()
+		b.activatedAt = start
+	default:
+		outcome = OutcomeConflict
+		rasReady := b.activatedAt + b.timing.TRAS
+		if rasReady > start {
+			start = rasReady
+		}
+		deviceLat = b.timing.TRP + b.timing.TRCD + b.timing.RowCloneFPM + b.activationPenalty()
+		b.activatedAt = start + b.timing.TRP
+	}
+	// Functional copy: dst becomes a copy of src.
+	copy(b.row(dstRow), b.row(srcRow))
+	done := start + deviceLat
+	// After FPM the destination row is the open row.
+	b.openRow = dstRow
+	b.busyUntil = done
+	b.lastTouch = done
+	return AccessResult{Latency: done - now, Outcome: outcome, CompletedAt: done}
+}
+
+// row returns the functional contents of a row, allocating lazily.
+func (b *Bank) row(row int64) []byte {
+	data, ok := b.rows[row]
+	if !ok {
+		data = make([]byte, b.rowBytes)
+		b.rows[row] = data
+	}
+	return data
+}
+
+// ReadBytes copies row contents starting at col into dst and returns the
+// number of bytes copied. Reads past the end of the row are truncated.
+func (b *Bank) ReadBytes(row int64, col int, dst []byte) int {
+	data := b.row(row)
+	if col < 0 || col >= len(data) {
+		return 0
+	}
+	return copy(dst, data[col:])
+}
+
+// WriteBytes copies src into the row starting at col and returns the number
+// of bytes written. Writes past the end of the row are truncated.
+func (b *Bank) WriteBytes(row int64, col int, src []byte) int {
+	data := b.row(row)
+	if col < 0 || col >= len(data) {
+		return 0
+	}
+	return copy(data[col:], src)
+}
+
+// Reset precharges the bank and clears busy state, keeping row contents.
+func (b *Bank) Reset() {
+	b.openRow = -1
+	b.busyUntil = 0
+	b.activatedAt = 0
+	b.lastTouch = 0
+	b.raa = 0
+}

@@ -1,0 +1,204 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testTiming() Timing {
+	t := DDR4_2400()
+	return t
+}
+
+func TestBankFirstAccessIsEmpty(t *testing.T) {
+	b := NewBank(testTiming(), 8192)
+	res := b.Access(0, 5)
+	if res.Outcome != OutcomeEmpty {
+		t.Fatalf("first access outcome = %v, want empty", res.Outcome)
+	}
+	if want := testTiming().EmptyLatency(); res.Latency != want {
+		t.Fatalf("empty latency = %d, want %d", res.Latency, want)
+	}
+}
+
+func TestBankHitAfterOpen(t *testing.T) {
+	b := NewBank(testTiming(), 8192)
+	first := b.Access(0, 5)
+	res := b.Access(first.CompletedAt+10, 5)
+	if res.Outcome != OutcomeHit {
+		t.Fatalf("outcome = %v, want hit", res.Outcome)
+	}
+	if want := testTiming().HitLatency(); res.Latency != want {
+		t.Fatalf("hit latency = %d, want %d", res.Latency, want)
+	}
+}
+
+func TestBankConflictLatency(t *testing.T) {
+	tm := testTiming()
+	b := NewBank(tm, 8192)
+	first := b.Access(0, 5)
+	// Access a different row well past tRAS so no stall applies.
+	res := b.Access(first.CompletedAt+tm.TRAS+100, 6)
+	if res.Outcome != OutcomeConflict {
+		t.Fatalf("outcome = %v, want conflict", res.Outcome)
+	}
+	if want := tm.ConflictLatency(); res.Latency != want {
+		t.Fatalf("conflict latency = %d, want %d", res.Latency, want)
+	}
+}
+
+func TestBankConflictWaitsForTRAS(t *testing.T) {
+	tm := testTiming()
+	b := NewBank(tm, 8192)
+	b.Access(0, 5) // activation at cycle 0
+	// Conflict immediately after the access completes: the precharge must
+	// wait until tRAS has elapsed since activation.
+	res := b.Access(tm.EmptyLatency(), 6)
+	minimum := tm.ConflictLatency()
+	if res.Latency <= minimum {
+		t.Fatalf("conflict latency %d does not include tRAS stall (>%d expected)", res.Latency, minimum)
+	}
+}
+
+func TestBankBusyStall(t *testing.T) {
+	tm := testTiming()
+	b := NewBank(tm, 8192)
+	first := b.Access(0, 5)
+	// Issue while the bank is still busy: the access must stall.
+	res := b.Access(first.CompletedAt-10, 5)
+	if res.Latency != tm.HitLatency()+10 {
+		t.Fatalf("stalled hit latency = %d, want %d", res.Latency, tm.HitLatency()+10)
+	}
+}
+
+func TestBankRowTimeoutClosesRow(t *testing.T) {
+	tm := testTiming()
+	tm.RowTimeout = 100
+	b := NewBank(tm, 8192)
+	first := b.Access(0, 5)
+	res := b.Access(first.CompletedAt+101, 5)
+	if res.Outcome != OutcomeEmpty {
+		t.Fatalf("outcome after timeout = %v, want empty", res.Outcome)
+	}
+}
+
+func TestBankNoTimeoutWhenDisabled(t *testing.T) {
+	tm := testTiming()
+	tm.RowTimeout = 0
+	b := NewBank(tm, 8192)
+	first := b.Access(0, 5)
+	res := b.Access(first.CompletedAt+1_000_000, 5)
+	if res.Outcome != OutcomeHit {
+		t.Fatalf("outcome with disabled timeout = %v, want hit", res.Outcome)
+	}
+}
+
+func TestBankPrechargeIdempotent(t *testing.T) {
+	b := NewBank(testTiming(), 8192)
+	first := b.Access(0, 5)
+	pre := b.Precharge(first.CompletedAt + 200)
+	if b.OpenRow() != -1 {
+		t.Fatalf("open row after precharge = %d, want -1", b.OpenRow())
+	}
+	again := b.Precharge(pre.CompletedAt + 10)
+	if again.Latency != 0 {
+		t.Fatalf("second precharge latency = %d, want 0", again.Latency)
+	}
+}
+
+func TestBankActivateOpensWithoutData(t *testing.T) {
+	tm := testTiming()
+	b := NewBank(tm, 8192)
+	res := b.Activate(0, 7)
+	if res.Outcome != OutcomeEmpty || res.Latency != tm.TRCD {
+		t.Fatalf("activate = %+v, want empty with tRCD", res)
+	}
+	if b.OpenRow() != 7 {
+		t.Fatalf("open row = %d, want 7", b.OpenRow())
+	}
+}
+
+func TestBankRowCloneCopiesData(t *testing.T) {
+	b := NewBank(testTiming(), 128)
+	payload := []byte("the row buffer is a covert channel")
+	b.WriteBytes(3, 0, payload)
+	b.Access(0, 3) // latch source
+	res := b.RowClone(200, 3, 4)
+	if res.Outcome != OutcomeHit {
+		t.Fatalf("rowclone with latched source outcome = %v, want hit", res.Outcome)
+	}
+	got := make([]byte, len(payload))
+	b.ReadBytes(4, 0, got)
+	if string(got) != string(payload) {
+		t.Fatalf("destination row = %q, want %q", got, payload)
+	}
+	if b.OpenRow() != 4 {
+		t.Fatalf("open row after rowclone = %d, want destination 4", b.OpenRow())
+	}
+}
+
+func TestBankRowCloneConflictTiming(t *testing.T) {
+	tm := testTiming()
+	b := NewBank(tm, 8192)
+	first := b.Access(0, 9) // open an unrelated row
+	res := b.RowClone(first.CompletedAt+tm.TRAS+100, 3, 4)
+	if res.Outcome != OutcomeConflict {
+		t.Fatalf("outcome = %v, want conflict", res.Outcome)
+	}
+	want := tm.TRP + tm.TRCD + tm.RowCloneFPM
+	if res.Latency != want {
+		t.Fatalf("conflict rowclone latency = %d, want %d", res.Latency, want)
+	}
+}
+
+func TestBankReadWriteBounds(t *testing.T) {
+	b := NewBank(testTiming(), 64)
+	if n := b.WriteBytes(0, -1, []byte{1}); n != 0 {
+		t.Errorf("negative col write wrote %d bytes", n)
+	}
+	if n := b.WriteBytes(0, 64, []byte{1}); n != 0 {
+		t.Errorf("past-end write wrote %d bytes", n)
+	}
+	if n := b.WriteBytes(0, 60, []byte{1, 2, 3, 4, 5, 6}); n != 4 {
+		t.Errorf("truncated write = %d bytes, want 4", n)
+	}
+	buf := make([]byte, 8)
+	if n := b.ReadBytes(0, 60, buf); n != 4 {
+		t.Errorf("truncated read = %d bytes, want 4", n)
+	}
+}
+
+func TestBankLatencyMonotonicity(t *testing.T) {
+	// Property: for any access sequence, CompletedAt never decreases.
+	check := func(rows []uint8, gaps []uint8) bool {
+		b := NewBank(testTiming(), 8192)
+		now := int64(0)
+		var lastDone int64
+		for i, r := range rows {
+			if i < len(gaps) {
+				now += int64(gaps[i])
+			}
+			res := b.Access(now, int64(r%8))
+			if res.CompletedAt < lastDone {
+				return false
+			}
+			lastDone = res.CompletedAt
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankOutcomeLatencyOrdering(t *testing.T) {
+	// Property: hit <= empty <= conflict for quiescent accesses.
+	tm := testTiming()
+	if !(tm.HitLatency() <= tm.EmptyLatency() && tm.EmptyLatency() <= tm.ConflictLatency()) {
+		t.Fatalf("latency ordering violated: hit=%d empty=%d conflict=%d",
+			tm.HitLatency(), tm.EmptyLatency(), tm.ConflictLatency())
+	}
+	if tm.WorstCaseLatency() < tm.ConflictLatency() {
+		t.Fatalf("worst case %d < conflict %d", tm.WorstCaseLatency(), tm.ConflictLatency())
+	}
+}

@@ -1,0 +1,172 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Config describes the device geometry (the paper's Table 2 defaults are in
+// DefaultConfig).
+type Config struct {
+	Channels      int
+	Ranks         int
+	BankGroups    int
+	BanksPerGroup int
+	// RowBytes is the size of one DRAM row (8192 bytes in Table 2).
+	RowBytes int
+	// RowsPerBank bounds the row index space of each bank.
+	RowsPerBank int64
+	Timing      Timing
+	// Maintenance configures refresh and RowHammer-mitigation stalls
+	// (zero value: disabled, matching the Table 2 calibration).
+	Maintenance Maintenance
+}
+
+// DefaultConfig returns the paper's Table 2 main-memory configuration:
+// DDR4-2400, 1 channel, 1 rank, 4 bank groups x 4 banks = 16 banks, 8 KiB
+// rows, open-row policy with a 100 ns timeout.
+func DefaultConfig() Config {
+	return Config{
+		Channels:      1,
+		Ranks:         1,
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		RowBytes:      8192,
+		RowsPerBank:   1 << 16,
+		Timing:        DDR4_2400(),
+	}
+}
+
+// WithBanks returns a copy of the config resized to the given total bank
+// count (used by the Figure 11 bank sweep). The count must be divisible by
+// the bank-group count.
+func (c Config) WithBanks(total int) Config {
+	out := c
+	out.BanksPerGroup = total / out.BankGroups
+	if out.BanksPerGroup == 0 {
+		out.BankGroups = total
+		out.BanksPerGroup = 1
+	}
+	return out
+}
+
+// TotalBanks returns the number of independently accessible banks.
+func (c Config) TotalBanks() int {
+	return c.Channels * c.Ranks * c.BankGroups * c.BanksPerGroup
+}
+
+// Validate reports configuration errors early.
+func (c Config) Validate() error {
+	if c.TotalBanks() <= 0 {
+		return fmt.Errorf("dram: non-positive bank count %d", c.TotalBanks())
+	}
+	if c.RowBytes <= 0 {
+		return fmt.Errorf("dram: non-positive row size %d", c.RowBytes)
+	}
+	if c.RowsPerBank <= 0 {
+		return fmt.Errorf("dram: non-positive rows per bank %d", c.RowsPerBank)
+	}
+	return nil
+}
+
+// Device is a full DRAM module: a flat array of banks (the hierarchy is
+// encoded by AddrMapper) with shared timing and access statistics.
+type Device struct {
+	cfg      Config
+	banks    []*Bank
+	counters *stats.Counters
+}
+
+// NewDevice builds a device from the configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	banks := make([]*Bank, cfg.TotalBanks())
+	for i := range banks {
+		banks[i] = NewBank(cfg.Timing, cfg.RowBytes)
+		banks[i].SetMaintenance(cfg.Maintenance)
+	}
+	return &Device{cfg: cfg, banks: banks, counters: stats.NewCounters()}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// NumBanks returns the total bank count.
+func (d *Device) NumBanks() int { return len(d.banks) }
+
+// Bank returns the bank at the given flat index. It returns nil for
+// out-of-range indices so misaddressed requests surface in tests rather
+// than panicking deep in a simulation.
+func (d *Device) Bank(i int) *Bank {
+	if i < 0 || i >= len(d.banks) {
+		return nil
+	}
+	return d.banks[i]
+}
+
+// Access performs a data access (read or write share the same timing at
+// this granularity) against bank/row and records statistics.
+func (d *Device) Access(now int64, bank int, row int64) (AccessResult, error) {
+	b := d.Bank(bank)
+	if b == nil {
+		return AccessResult{}, fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	res := b.Access(now, row)
+	d.record(res.Outcome)
+	return res, nil
+}
+
+// Activate opens a row without a data transfer.
+func (d *Device) Activate(now int64, bank int, row int64) (AccessResult, error) {
+	b := d.Bank(bank)
+	if b == nil {
+		return AccessResult{}, fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	res := b.Activate(now, row)
+	d.record(res.Outcome)
+	return res, nil
+}
+
+// RowClone performs an in-DRAM copy within one bank.
+func (d *Device) RowClone(now int64, bank int, srcRow, dstRow int64) (AccessResult, error) {
+	b := d.Bank(bank)
+	if b == nil {
+		return AccessResult{}, fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	res := b.RowClone(now, srcRow, dstRow)
+	d.record(res.Outcome)
+	d.counters.Inc("rowclone", 1)
+	return res, nil
+}
+
+// PrechargeAll closes every bank (used between experiments).
+func (d *Device) PrechargeAll(now int64) {
+	for _, b := range d.banks {
+		b.Precharge(now)
+	}
+}
+
+// Reset precharges all banks and clears busy state without dropping row
+// contents or statistics.
+func (d *Device) Reset() {
+	for _, b := range d.banks {
+		b.Reset()
+	}
+}
+
+// Counters exposes access statistics: hits, empties, conflicts, rowclones.
+func (d *Device) Counters() *stats.Counters { return d.counters }
+
+func (d *Device) record(o Outcome) {
+	switch o {
+	case OutcomeHit:
+		d.counters.Inc("hit", 1)
+	case OutcomeEmpty:
+		d.counters.Inc("empty", 1)
+	case OutcomeConflict:
+		d.counters.Inc("conflict", 1)
+	}
+}

@@ -1,0 +1,133 @@
+package dram
+
+import "testing"
+
+func TestDeviceConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero banks", func(c *Config) { c.BanksPerGroup = 0; c.BankGroups = 0 }},
+		{"zero row bytes", func(c *Config) { c.RowBytes = 0 }},
+		{"zero rows", func(c *Config) { c.RowsPerBank = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := NewDevice(cfg); err == nil {
+				t.Fatal("expected construction error")
+			}
+		})
+	}
+}
+
+func TestDeviceBankOutOfRange(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Access(0, -1, 0); err == nil {
+		t.Error("negative bank accepted")
+	}
+	if _, err := dev.Access(0, dev.NumBanks(), 0); err == nil {
+		t.Error("out-of-range bank accepted")
+	}
+	if dev.Bank(dev.NumBanks()) != nil {
+		t.Error("Bank out of range returned non-nil")
+	}
+}
+
+func TestDeviceCountsOutcomes(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Access(0, 0, 1)    // empty
+	dev.Access(1000, 0, 1) // hit
+	dev.Access(2000, 0, 2) // conflict
+	dev.RowClone(5000, 1, 3, 4)
+	c := dev.Counters()
+	if c.Get("empty") != 2 { // first access + rowclone on closed bank
+		t.Errorf("empty = %d, want 2", c.Get("empty"))
+	}
+	if c.Get("hit") != 1 {
+		t.Errorf("hit = %d, want 1", c.Get("hit"))
+	}
+	if c.Get("conflict") != 1 {
+		t.Errorf("conflict = %d, want 1", c.Get("conflict"))
+	}
+	if c.Get("rowclone") != 1 {
+		t.Errorf("rowclone = %d, want 1", c.Get("rowclone"))
+	}
+}
+
+func TestDeviceBanksAreIndependent(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Access(0, 0, 10)
+	res, err := dev.Access(500, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeEmpty {
+		t.Fatalf("bank 1 outcome = %v, want empty (banks must not share row buffers)", res.Outcome)
+	}
+}
+
+func TestDevicePrechargeAllAndReset(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < dev.NumBanks(); b++ {
+		dev.Access(0, b, 42)
+	}
+	dev.PrechargeAll(10_000)
+	for b := 0; b < dev.NumBanks(); b++ {
+		if got := dev.Bank(b).OpenRow(); got != -1 {
+			t.Fatalf("bank %d open row = %d after PrechargeAll", b, got)
+		}
+	}
+	dev.Reset()
+	for b := 0; b < dev.NumBanks(); b++ {
+		if got := dev.Bank(b).BusyUntil(); got != 0 {
+			t.Fatalf("bank %d busyUntil = %d after Reset", b, got)
+		}
+	}
+}
+
+func TestConfigWithBanks(t *testing.T) {
+	for _, total := range []int{16, 64, 1024, 8192} {
+		cfg := DefaultConfig().WithBanks(total)
+		if got := cfg.TotalBanks(); got != total {
+			t.Errorf("WithBanks(%d).TotalBanks() = %d", total, got)
+		}
+	}
+	// Fewer banks than groups collapses to one bank per group.
+	cfg := DefaultConfig().WithBanks(2)
+	if cfg.TotalBanks() != 2 {
+		t.Errorf("WithBanks(2) = %d banks", cfg.TotalBanks())
+	}
+}
+
+func TestRowCloneIsFunctionalAcrossDevice(t *testing.T) {
+	dev, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	dev.Bank(2).WriteBytes(100, 0, payload)
+	if _, err := dev.RowClone(0, 2, 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	dev.Bank(2).ReadBytes(200, 0, got)
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("cloned row byte %d = %#x, want %#x", i, got[i], payload[i])
+		}
+	}
+}

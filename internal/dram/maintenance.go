@@ -1,0 +1,66 @@
+package dram
+
+// Maintenance models the two classes of DRAM maintenance operation that
+// stall attacker-visible accesses and that Section 8.4 discusses as timing
+// noise in future devices:
+//
+//   - Periodic refresh: every RefreshInterval cycles (tREFI) the bank is
+//     blocked for RefreshDuration cycles (tRFC) and its row buffer is
+//     precharged.
+//   - RowHammer mitigations (RFM/PRAC): after MitigationThreshold
+//     activations, the bank performs a preventive action that blocks it for
+//     MitigationPenalty cycles (350-1400 ns per the DDR5 specifications the
+//     paper cites). The paper observes these stalls are much larger than a
+//     row-buffer conflict "and can be filtered out by the receiver".
+//
+// Both default to disabled (zero values) so the Table 2 calibration is
+// unaffected; ablation benches and the Section 8.4 experiment enable them.
+type Maintenance struct {
+	// RefreshInterval is tREFI in cycles (0 disables refresh).
+	RefreshInterval int64
+	// RefreshDuration is tRFC in cycles.
+	RefreshDuration int64
+	// MitigationThreshold is the activation count (RAA) that triggers a
+	// preventive refresh-management action (0 disables).
+	MitigationThreshold int
+	// MitigationPenalty is the stall per preventive action in cycles.
+	MitigationPenalty int64
+}
+
+// DDR4Refresh returns standard DDR4 refresh timing at 2.6 GHz: tREFI =
+// 7.8 us = 20280 cycles, tRFC = 350 ns = 910 cycles.
+func DDR4Refresh() Maintenance {
+	return Maintenance{RefreshInterval: 20280, RefreshDuration: 910}
+}
+
+// DDR5RFM returns an RFM-style RowHammer mitigation: a preventive action
+// every 32 activations costing 910 cycles (350 ns), the lower bound of the
+// 350-1400 ns range the paper quotes.
+func DDR5RFM() Maintenance {
+	return Maintenance{MitigationThreshold: 32, MitigationPenalty: 910}
+}
+
+// WithRefresh combines this maintenance config with DDR4 refresh.
+func (m Maintenance) WithRefresh() Maintenance {
+	r := DDR4Refresh()
+	m.RefreshInterval = r.RefreshInterval
+	m.RefreshDuration = r.RefreshDuration
+	return m
+}
+
+// refreshAdjust returns the earliest cycle at or after now that is outside
+// any refresh window, and whether a refresh boundary has passed since
+// `since` (meaning open rows were precharged by the all-bank refresh).
+func (m Maintenance) refreshAdjust(now, since int64) (start int64, rowsClosed bool) {
+	if m.RefreshInterval <= 0 {
+		return now, false
+	}
+	window := now / m.RefreshInterval
+	windowStart := window * m.RefreshInterval
+	start = now
+	if now < windowStart+m.RefreshDuration {
+		start = windowStart + m.RefreshDuration
+	}
+	rowsClosed = since/m.RefreshInterval != window || since < windowStart
+	return start, rowsClosed
+}

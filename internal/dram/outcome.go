@@ -1,0 +1,40 @@
+package dram
+
+// Outcome classifies how an access interacted with the row buffer.
+type Outcome int
+
+const (
+	// OutcomeHit means the target row was already open in the row buffer.
+	OutcomeHit Outcome = iota + 1
+	// OutcomeEmpty means the bank was precharged (closed); the access paid
+	// one activation but no precharge.
+	OutcomeEmpty
+	// OutcomeConflict means a different row was open; the access paid a
+	// precharge plus an activation.
+	OutcomeConflict
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeEmpty:
+		return "empty"
+	case OutcomeConflict:
+		return "conflict"
+	default:
+		return "unknown"
+	}
+}
+
+// AccessResult describes one completed DRAM access.
+type AccessResult struct {
+	// Latency is the total device-side latency in CPU cycles, including
+	// any stall waiting for the bank to become free or for tRAS.
+	Latency int64
+	// Outcome classifies the row-buffer interaction.
+	Outcome Outcome
+	// CompletedAt is the simulated cycle at which the access finished.
+	CompletedAt int64
+}

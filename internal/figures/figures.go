@@ -1,0 +1,111 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation, printing the paper's reported values next to this
+// reproduction's measured values. Each function corresponds to one artifact
+// (see DESIGN.md's per-experiment index); All runs the complete set.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Row is one paper-vs-measured comparison line.
+type Row struct {
+	Label    string
+	Paper    string
+	Measured string
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// Render writes the report as an aligned text table.
+func (r Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s — %s ===\n", r.ID, r.Title)
+	labelW, paperW := len("series"), len("paper")
+	for _, row := range r.Rows {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+		if len(row.Paper) > paperW {
+			paperW = len(row.Paper)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %*s  %s\n", labelW, "series", paperW, "paper", "measured")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-*s  %*s  %s\n", labelW, row.Label, paperW, row.Paper, row.Measured)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale selects how much work the harness performs.
+type Scale int
+
+const (
+	// ScaleQuick shrinks message sizes and sweeps for CI-speed runs.
+	ScaleQuick Scale = iota + 1
+	// ScaleFull reproduces the experiments at full size.
+	ScaleFull
+)
+
+// bits returns the covert-channel message length for the scale.
+func (s Scale) bits() int {
+	if s == ScaleFull {
+		return 4096
+	}
+	return 512
+}
+
+// All regenerates every artifact in paper order.
+func All(scale Scale) ([]Report, error) {
+	type gen struct {
+		name string
+		fn   func(Scale) (Report, error)
+	}
+	gens := []gen{
+		{"rowbuffer", RowBufferGap},
+		{"table1", Table1},
+		{"table2", Table2},
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig12", Fig12},
+		{"act", ACTReduction},
+		{"act-adaptive", AdaptiveAttacker},
+		{"section8.4", Section84},
+		{"framing", ReliableFraming},
+	}
+	out := make([]Report, 0, len(gens))
+	for _, g := range gens {
+		rep, err := g.fn(scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", g.name, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// fmtMbps formats a throughput value.
+func fmtMbps(v float64) string { return fmt.Sprintf("%.2f Mb/s", v) }
+
+// fmtPct formats a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// fmtCycles formats a cycle count.
+func fmtCycles(v int64) string { return fmt.Sprintf("%d cyc", v) }
+
+// join concatenates label parts.
+func join(parts ...string) string { return strings.Join(parts, " ") }

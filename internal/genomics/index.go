@@ -1,0 +1,134 @@
+package genomics
+
+import "fmt"
+
+// IndexConfig parameterizes seeding.
+type IndexConfig struct {
+	// K is the seed (k-mer) length.
+	K int
+	// Stride is the indexing distance between reference k-mers (1 =
+	// index every k-mer).
+	Stride int
+	// QueryStride is the sampling distance between seeds extracted from
+	// a read during mapping.
+	QueryStride int
+	// Buckets is the hash table size; the paper distributes these across
+	// DRAM banks.
+	Buckets int
+	// MaxPositionsPerBucket caps bucket occupancy (highly repetitive
+	// seeds are dropped, as minimap2 does with high-frequency minimizers).
+	MaxPositionsPerBucket int
+}
+
+// DefaultIndexConfig returns a small but realistic seeding configuration.
+func DefaultIndexConfig() IndexConfig {
+	return IndexConfig{K: 15, Stride: 1, QueryStride: 5, Buckets: 1 << 16, MaxPositionsPerBucket: 32}
+}
+
+// entry is one hash-table record: a k-mer fingerprint (the high hash bits,
+// disambiguating bucket collisions) plus the reference position.
+type entry struct {
+	fp  uint32
+	pos int32
+}
+
+// Index is the seeding hash table: bucket -> candidate reference positions.
+type Index struct {
+	cfg     IndexConfig
+	buckets [][]entry
+}
+
+// fingerprint extracts the collision-disambiguation bits of a k-mer hash.
+func fingerprint(hash uint64) uint32 {
+	return uint32(hash >> 32)
+}
+
+// BuildIndex indexes every Stride-th k-mer of the reference.
+func BuildIndex(ref *Reference, cfg IndexConfig) (*Index, error) {
+	if cfg.K <= 0 || cfg.Stride <= 0 || cfg.Buckets <= 0 {
+		return nil, fmt.Errorf("genomics: invalid index config %+v", cfg)
+	}
+	ix := &Index{cfg: cfg, buckets: make([][]entry, cfg.Buckets)}
+	for pos := 0; pos+cfg.K <= len(ref.Seq); pos += cfg.Stride {
+		hash := KmerHash(ref.Seq[pos:], cfg.K)
+		b := ix.BucketOf(hash)
+		if cfg.MaxPositionsPerBucket > 0 && len(ix.buckets[b]) >= cfg.MaxPositionsPerBucket {
+			continue
+		}
+		ix.buckets[b] = append(ix.buckets[b], entry{fp: fingerprint(hash), pos: int32(pos)})
+	}
+	return ix, nil
+}
+
+// Config returns the index configuration.
+func (ix *Index) Config() IndexConfig { return ix.cfg }
+
+// BucketOf maps a k-mer hash to its bucket.
+func (ix *Index) BucketOf(hash uint64) int {
+	return int(hash % uint64(ix.cfg.Buckets))
+}
+
+// Lookup returns the candidate positions recorded for this exact k-mer hash
+// (bucket entries with a different fingerprint are collisions of other
+// k-mers and are filtered out).
+func (ix *Index) Lookup(hash uint64) []int32 {
+	fp := fingerprint(hash)
+	var out []int32
+	for _, e := range ix.buckets[ix.BucketOf(hash)] {
+		if e.fp == fp {
+			out = append(out, e.pos)
+		}
+	}
+	return out
+}
+
+// NumBuckets returns the table size.
+func (ix *Index) NumBuckets() int { return ix.cfg.Buckets }
+
+// BucketLen returns the occupancy of bucket b.
+func (ix *Index) BucketLen(b int) int {
+	if b < 0 || b >= len(ix.buckets) {
+		return 0
+	}
+	return len(ix.buckets[b])
+}
+
+// BankLayout places hash table buckets into DRAM banks and rows, matching
+// the paper's assumption that the table interleaves across banks (Section
+// 4.3: "the hash table is distributed across multiple DRAM banks").
+type BankLayout struct {
+	// Banks is the number of DRAM banks the table spans.
+	Banks int
+	// EntriesPerRow is how many buckets share one DRAM row (16 in the
+	// paper's 1024-bank example).
+	EntriesPerRow int
+	// BaseRow is the first row of the table region in each bank.
+	BaseRow int64
+	// EntryBytes is the storage footprint of one bucket header.
+	EntryBytes int
+}
+
+// DefaultBankLayout spreads the table over the given bank count with the
+// paper's 8 KiB rows holding 16 bucket headers of 512 bytes each.
+func DefaultBankLayout(banks int) BankLayout {
+	return BankLayout{Banks: banks, EntriesPerRow: 16, BaseRow: 100, EntryBytes: 512}
+}
+
+// Place returns the bank, row and byte column of bucket b: buckets
+// interleave bank-first (consecutive buckets land in consecutive banks,
+// exploiting bank-level parallelism as modern address mappings do).
+func (l BankLayout) Place(bucket int) (bank int, row int64, col int) {
+	bank = bucket % l.Banks
+	slot := bucket / l.Banks
+	row = l.BaseRow + int64(slot/l.EntriesPerRow)
+	col = (slot % l.EntriesPerRow) * l.EntryBytes
+	return bank, row, col
+}
+
+// RowsUsed returns how many table rows each bank holds for the given bucket
+// count: the quantity that shrinks as banks grow, making each leaked row
+// more informative (Section 6.3).
+func (l BankLayout) RowsUsed(buckets int) int {
+	perBank := (buckets + l.Banks - 1) / l.Banks
+	return (perBank + l.EntriesPerRow - 1) / l.EntriesPerRow
+}

@@ -1,0 +1,173 @@
+// Package pim models the two Processing-in-Memory substrates the paper's
+// attacks exploit: PIM-Enabled Instructions (PEI, Ahn et al. ISCA'15) — a
+// processing-near-memory design with per-bank computation units and a
+// locality-monitoring dispatch unit — and RowClone (Seshadri et al.
+// MICRO'13) — a processing-using-memory bulk copy primitive with masked
+// multi-bank dispatch.
+package pim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/stats"
+)
+
+// PEICosts collects the software/uncore cost constants of the PEI path.
+type PEICosts struct {
+	// IssueCost is the core-side cost of dispatching one synchronous PEI
+	// (operand packing, PMU lookup, uncore hop).
+	IssueCost int64
+	// AsyncIssueCost is the core-side cost of a fire-and-forget PEI,
+	// which carries operand data and write semantics and therefore pays
+	// a heavier dispatch than a read-return PEI.
+	AsyncIssueCost int64
+	// PEIOverhead is the additional latency of executing a PEI in a
+	// memory-side PCU (3 cycles in the paper, after Ahn et al.).
+	PEIOverhead int64
+	// HostExtra is the extra cost when the PMU routes the PEI to the
+	// host-side PCU (it then goes through the cache hierarchy).
+	HostExtra int64
+}
+
+// DefaultPEICosts returns the calibrated constants (see DESIGN.md).
+func DefaultPEICosts() PEICosts {
+	return PEICosts{IssueCost: 25, AsyncIssueCost: 45, PEIOverhead: 3, HostExtra: 5}
+}
+
+// PEIResult describes one executed PEI.
+type PEIResult struct {
+	// Latency is the core-observed round-trip latency for synchronous
+	// execution, or the issue cost for asynchronous execution.
+	Latency int64
+	// CompletedAt is when the memory-side operation finishes (equals the
+	// issue completion for host-side execution).
+	CompletedAt int64
+	// NearMemory reports whether the PMU dispatched the PEI to a
+	// memory-side PCU.
+	NearMemory bool
+	// Outcome is the DRAM row-buffer outcome for memory-side execution.
+	Outcome dram.Outcome
+}
+
+// LocalityMonitor models the PEI Management Unit's locality monitor: a small
+// tag cache of recently touched cache blocks. A hit means the data is likely
+// cached, so the PEI executes host-side; a miss routes it near memory. The
+// IMPACT attackers deliberately touch fresh cache lines each batch to force
+// memory-side execution.
+type LocalityMonitor struct {
+	entries map[uint64]int64
+	max     int
+	tick    int64
+}
+
+// NewLocalityMonitor returns a monitor tracking up to max cache-line tags.
+func NewLocalityMonitor(max int) *LocalityMonitor {
+	return &LocalityMonitor{entries: make(map[uint64]int64, max), max: max}
+}
+
+// Observe records a touch of the cache line containing addr and returns
+// whether the line was already being tracked (= high locality).
+func (m *LocalityMonitor) Observe(addr uint64) bool {
+	const lineBits = 6
+	tag := addr >> lineBits
+	m.tick++
+	_, hit := m.entries[tag]
+	if !hit && len(m.entries) >= m.max {
+		// Evict the oldest entry.
+		var oldTag uint64
+		oldTick := m.tick + 1
+		for t, when := range m.entries {
+			if when < oldTick {
+				oldTick, oldTag = when, t
+			}
+		}
+		delete(m.entries, oldTag)
+	}
+	m.entries[tag] = m.tick
+	return hit
+}
+
+// PEIEngine executes PIM-enabled instructions against a memory controller.
+type PEIEngine struct {
+	ctrl     *memctrl.Controller
+	mapper   *dram.AddrMapper
+	monitor  *LocalityMonitor
+	host     cache.Level
+	costs    PEICosts
+	counters *stats.Counters
+}
+
+// NewPEIEngine builds a PEI engine. host is the host-side execution path
+// (the cache hierarchy); it may be nil, in which case all PEIs execute near
+// memory regardless of locality.
+func NewPEIEngine(ctrl *memctrl.Controller, mapper *dram.AddrMapper, host cache.Level, costs PEICosts) *PEIEngine {
+	return &PEIEngine{
+		ctrl:     ctrl,
+		mapper:   mapper,
+		monitor:  NewLocalityMonitor(256),
+		host:     host,
+		costs:    costs,
+		counters: stats.NewCounters(),
+	}
+}
+
+// Costs returns the engine's cost constants.
+func (e *PEIEngine) Costs() PEICosts { return e.costs }
+
+// Counters exposes dispatch statistics.
+func (e *PEIEngine) Counters() *stats.Counters { return e.counters }
+
+// Execute runs one PEI (e.g. pim_add) on the word at addr synchronously:
+// the caller's clock should advance by the returned Latency. The PMU routes
+// the PEI host-side when the locality monitor indicates cached data.
+func (e *PEIEngine) Execute(now int64, addr uint64, proc int) (PEIResult, error) {
+	highLocality := e.monitor.Observe(addr)
+	if highLocality && e.host != nil {
+		e.counters.Inc("host_side", 1)
+		lat := e.costs.IssueCost + e.costs.HostExtra + e.host.Access(now+e.costs.IssueCost, addr, false)
+		return PEIResult{Latency: lat, CompletedAt: now + lat, NearMemory: false}, nil
+	}
+	e.counters.Inc("memory_side", 1)
+	coord := e.mapper.Map(addr)
+	bank := coord.FlatBank(e.ctrl.Device().Config())
+	start := now + e.costs.IssueCost + e.costs.PEIOverhead
+	res, err := e.ctrl.Access(start, bank, coord.Row, proc)
+	if err != nil {
+		return PEIResult{}, err
+	}
+	lat := e.costs.IssueCost + e.costs.PEIOverhead + res.Latency
+	return PEIResult{
+		Latency:     lat,
+		CompletedAt: now + lat,
+		NearMemory:  true,
+		Outcome:     res.Outcome,
+	}, nil
+}
+
+// ExecuteAsync issues a PEI without waiting for the memory-side operation:
+// the caller's clock advances only by the issue cost, and CompletedAt tells
+// a later memory fence when the operation drains. This is the sender-side
+// fire-and-forget pattern of Listing 1.
+func (e *PEIEngine) ExecuteAsync(now int64, addr uint64, proc int) (PEIResult, error) {
+	highLocality := e.monitor.Observe(addr)
+	if highLocality && e.host != nil {
+		e.counters.Inc("host_side", 1)
+		lat := e.costs.AsyncIssueCost + e.costs.HostExtra + e.host.Access(now+e.costs.AsyncIssueCost, addr, false)
+		return PEIResult{Latency: e.costs.AsyncIssueCost, CompletedAt: now + lat, NearMemory: false}, nil
+	}
+	e.counters.Inc("memory_side", 1)
+	coord := e.mapper.Map(addr)
+	bank := coord.FlatBank(e.ctrl.Device().Config())
+	start := now + e.costs.AsyncIssueCost + e.costs.PEIOverhead
+	res, err := e.ctrl.Activate(start, bank, coord.Row, proc)
+	if err != nil {
+		return PEIResult{}, err
+	}
+	return PEIResult{
+		Latency:     e.costs.AsyncIssueCost,
+		CompletedAt: start + res.Latency,
+		NearMemory:  true,
+		Outcome:     res.Outcome,
+	}, nil
+}

@@ -1,0 +1,155 @@
+// Package sim assembles the full simulated system of the paper's Table 2:
+// out-of-order x86 cores at 2.6 GHz with rdtscp/cpuid timing, a three-level
+// cache hierarchy, an MMU with a DRAM-visiting page-table walker, a memory
+// controller with defenses, PEI and RowClone engines, a DMA engine with OS
+// software-stack overheads, and deterministic background noise sources.
+//
+// Everything is measured in simulated CPU cycles on per-core logical clocks;
+// no wall-clock time is ever read, so host GC pauses and scheduler jitter
+// cannot perturb any measured latency (see DESIGN.md).
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/pim"
+)
+
+// FrequencyHz is the simulated core clock (Table 2: 2.6 GHz).
+const FrequencyHz = 2.6e9
+
+// SoftCosts collects the software-path cost constants calibrated against the
+// paper's headline numbers (see DESIGN.md "Calibration targets").
+type SoftCosts struct {
+	// TimerCost is the cost of one rdtscp read.
+	TimerCost int64
+	// SerializeCost is the cost of the cpuid serialization the paper's
+	// receiver pairs with rdtscp for precise measurement.
+	SerializeCost int64
+	// LoopOverhead is the per-iteration branch/index cost of the attack
+	// loops.
+	LoopOverhead int64
+	// DecodeCost is the threshold compare + store per received bit.
+	DecodeCost int64
+	// SemPost and SemWait are the semaphore synchronization costs of the
+	// sender/receiver protocol.
+	SemPost, SemWait int64
+	// FenceBase is the fixed cost of a memory fence before waiting for
+	// outstanding operations.
+	FenceBase int64
+	// DMASyscall and DMASetup model the deep software stack of the DMA
+	// engine path (context switch, descriptor setup).
+	DMASyscall, DMASetup int64
+	// EvictionMLP is the fraction of DRAM latency exposed per eviction-set
+	// load once misses pipeline in the memory controller.
+	EvictionMLP float64
+	// SenderComputeCost is the per-bit message-inspection cost on the
+	// sender side (bit test, address computation).
+	SenderComputeCost int64
+	// MaskComputeCost is the cost of building a RowClone bank mask for a
+	// whole batch.
+	MaskComputeCost int64
+	// FlushOverhead is the serialization cost of a clflush (plus the
+	// mfence that must order it) beyond the cache tag probes.
+	FlushOverhead int64
+	// SideProbeBookkeeping is the side-channel attacker's per-probe
+	// record-keeping cost (per-bank state update, timestamp logging).
+	SideProbeBookkeeping int64
+}
+
+// DefaultSoftCosts returns the calibrated constants.
+func DefaultSoftCosts() SoftCosts {
+	return SoftCosts{
+		TimerCost:            15,
+		SerializeCost:        25,
+		LoopOverhead:         5,
+		DecodeCost:           5,
+		SemPost:              60,
+		SemWait:              60,
+		FenceBase:            10,
+		DMASyscall:           1700,
+		DMASetup:             200,
+		EvictionMLP:          0.30,
+		SenderComputeCost:    120,
+		MaskComputeCost:      30,
+		FlushOverhead:        250,
+		SideProbeBookkeeping: 60,
+	}
+}
+
+// NoiseConfig parameterizes background DRAM activity (prefetchers and page
+// table walkers of unrelated processes; Section 5.2.3).
+type NoiseConfig struct {
+	// EventsPerMCycle is the expected number of background row
+	// activations per million cycles across the whole device.
+	EventsPerMCycle float64
+	// Seed drives the deterministic noise stream.
+	Seed uint64
+}
+
+// Config describes a whole simulated system.
+type Config struct {
+	// DRAM is the device geometry and timing (Table 2 defaults).
+	DRAM dram.Config
+	// Mapping selects the physical-address-to-bank scattering.
+	Mapping dram.MappingScheme
+	// Mem is the memory controller configuration (defense selection).
+	Mem memctrl.Config
+	// LLCBytes and LLCWays size the shared last-level cache; LLCLatency
+	// overrides the CACTI-derived latency when positive.
+	LLCBytes   int
+	LLCWays    int
+	LLCLatency int64
+	// Cores is the number of simulated cores (Table 2: 4).
+	Cores int
+	// Costs are the calibrated software-path constants.
+	Costs SoftCosts
+	// PEI and RowClone cost constants.
+	PEICosts      pim.PEICosts
+	RowCloneCosts pim.RowCloneCosts
+	// Noise configures background DRAM activity.
+	Noise NoiseConfig
+	// EnablePrefetchers attaches the cache prefetchers (noise sources).
+	EnablePrefetchers bool
+}
+
+// DefaultConfig returns the paper's Table 2 system with an 8 MB shared LLC
+// (2 MB/core x 4 cores).
+func DefaultConfig() Config {
+	return Config{
+		DRAM:              dram.DefaultConfig(),
+		Mapping:           dram.MapBankXOR,
+		Mem:               memctrl.DefaultConfig(),
+		LLCBytes:          8 << 20,
+		LLCWays:           16,
+		Cores:             4,
+		Costs:             DefaultSoftCosts(),
+		PEICosts:          pim.DefaultPEICosts(),
+		RowCloneCosts:     pim.DefaultRowCloneCosts(),
+		Noise:             NoiseConfig{EventsPerMCycle: 3, Seed: 0x1337},
+		EnablePrefetchers: true,
+	}
+}
+
+// CyclesToSeconds converts simulated cycles to seconds at the configured
+// frequency.
+func CyclesToSeconds(cycles int64) float64 {
+	return float64(cycles) / FrequencyHz
+}
+
+// ThroughputMbps converts bits transferred over a cycle span into megabits
+// per second.
+func ThroughputMbps(bits int64, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(bits) / CyclesToSeconds(cycles) / 1e6
+}
+
+// hierarchyConfig derives the cache hierarchy configuration.
+func (c Config) hierarchyConfig(llcLatency int64) cache.HierarchyConfig {
+	cfg := cache.DefaultHierarchyConfig(c.LLCBytes, c.LLCWays, llcLatency)
+	cfg.EnablePrefetchers = c.EnablePrefetchers
+	return cfg
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cacti"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/pim"
+)
+
+// Machine is one fully assembled simulated system.
+type Machine struct {
+	cfg    Config
+	device *dram.Device
+	ctrl   *memctrl.Controller
+	mapper *dram.AddrMapper
+	llc    *cache.Cache
+	cores  []*Core
+
+	pei      *pim.PEIEngine
+	rowClone *pim.RowCloneEngine
+	noise    *Noise
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) (*Machine, error) {
+	device, err := dram.NewDevice(cfg.DRAM)
+	if err != nil {
+		return nil, fmt.Errorf("dram: %w", err)
+	}
+	ctrl := memctrl.New(device, cfg.Mem)
+	mapper, err := dram.NewAddrMapper(cfg.DRAM, cfg.Mapping)
+	if err != nil {
+		return nil, err
+	}
+
+	llcLatency := cfg.LLCLatency
+	if llcLatency <= 0 {
+		llcLatency = cacti.LLCLatencyWays(float64(cfg.LLCBytes)/float64(1<<20), cfg.LLCWays)
+	}
+	hcfg := cfg.hierarchyConfig(llcLatency)
+
+	m := &Machine{cfg: cfg, device: device, ctrl: ctrl, mapper: mapper}
+
+	// The shared LLC sits over the memory backend; each core stacks a
+	// private L1/L2 on top of it.
+	sharedBackend := &memBackend{m: m, proc: -1}
+	llc, err := cache.New(hcfg.LLC, sharedBackend)
+	if err != nil {
+		return nil, fmt.Errorf("llc: %w", err)
+	}
+	m.llc = llc
+
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("sim: need at least one core, got %d", cfg.Cores)
+	}
+	m.cores = make([]*Core, cfg.Cores)
+	for i := range m.cores {
+		core, err := newCore(m, i, hcfg, llc, sharedBackend)
+		if err != nil {
+			return nil, fmt.Errorf("core %d: %w", i, err)
+		}
+		core.hier.FlushOverhead = cfg.Costs.FlushOverhead
+		m.cores[i] = core
+	}
+	// The LLC is inclusive: an LLC eviction back-invalidates the private
+	// L1/L2 copies, which is what lets eviction sets displace another
+	// core's line.
+	llc.SetEvictHook(func(addr uint64) {
+		for _, c := range m.cores {
+			c.hier.L1().Invalidate(addr)
+			c.hier.L2().Invalidate(addr)
+		}
+	})
+
+	m.pei = pim.NewPEIEngine(ctrl, mapper, llc, cfg.PEICosts)
+	m.rowClone = pim.NewRowCloneEngine(ctrl, cfg.RowCloneCosts)
+	m.noise = newNoise(m, cfg.Noise)
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Device returns the DRAM device.
+func (m *Machine) Device() *dram.Device { return m.device }
+
+// Controller returns the memory controller.
+func (m *Machine) Controller() *memctrl.Controller { return m.ctrl }
+
+// Mapper returns the physical address mapper.
+func (m *Machine) Mapper() *dram.AddrMapper { return m.mapper }
+
+// LLC returns the shared last-level cache.
+func (m *Machine) LLC() *cache.Cache { return m.llc }
+
+// PEI returns the PIM-enabled-instructions engine.
+func (m *Machine) PEI() *pim.PEIEngine { return m.pei }
+
+// RowClone returns the RowClone engine.
+func (m *Machine) RowClone() *pim.RowCloneEngine { return m.rowClone }
+
+// Core returns core i, or nil if out of range.
+func (m *Machine) Core(i int) *Core {
+	if i < 0 || i >= len(m.cores) {
+		return nil
+	}
+	return m.cores[i]
+}
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// AdvanceNoise injects background DRAM activity (prefetcher fills, page
+// table walks of unrelated processes) up to simulated time t. Attack
+// harnesses call it at batch boundaries so noise interleaves with probes.
+func (m *Machine) AdvanceNoise(t int64) {
+	m.noise.AdvanceTo(t)
+}
+
+// AddrFor composes the physical address that lands in the given bank, row
+// and byte offset — the memory-massaging primitive attackers use to
+// co-locate data (Section 4.1 "Before the attack...").
+func (m *Machine) AddrFor(bank int, row int64, col int) uint64 {
+	return m.mapper.Compose(bank, row, col)
+}
+
+// memBackend adapts the memory controller to the cache.Level interface so
+// cache misses and writebacks reach simulated DRAM.
+type memBackend struct {
+	m    *Machine
+	proc int
+}
+
+var _ cache.Level = (*memBackend)(nil)
+
+func (b *memBackend) Access(now int64, addr uint64, write bool) int64 {
+	coord := b.m.mapper.Map(addr)
+	bank := coord.FlatBank(b.m.cfg.DRAM)
+	res, err := b.m.ctrl.Access(now, bank, coord.Row, b.proc)
+	if err != nil {
+		// Partition violations surface as a worst-case-latency fault
+		// rather than an error in the cache path.
+		return b.m.cfg.DRAM.Timing.WorstCaseLatency()
+	}
+	return res.Latency
+}

@@ -1,0 +1,43 @@
+package sim
+
+// Semaphore synchronizes two simulated cores the way the paper's sender and
+// receiver synchronize (Section 4.1 "Sender-Receiver Synchronization"): the
+// value counts batches transmitted but not yet probed; the receiver blocks
+// until the sender posts. Blocking is modeled by advancing the waiter's
+// logical clock to the poster's clock.
+type Semaphore struct {
+	value   int
+	readyAt int64
+	costs   SoftCosts
+}
+
+// NewSemaphore returns a semaphore with the machine's synchronization costs.
+func NewSemaphore(m *Machine) *Semaphore {
+	return &Semaphore{costs: m.cfg.Costs}
+}
+
+// Post increments the semaphore from core c.
+func (s *Semaphore) Post(c *Core) {
+	c.Advance(s.costs.SemPost)
+	s.value++
+	if c.Now() > s.readyAt {
+		s.readyAt = c.Now()
+	}
+}
+
+// Wait decrements the semaphore from core c, blocking (advancing c's clock)
+// until a post has happened. The harness drives sender and receiver in
+// program order, so a Wait without a prior Post indicates a protocol bug;
+// it is reported via the return value.
+func (s *Semaphore) Wait(c *Core) bool {
+	c.Advance(s.costs.SemWait)
+	if s.value <= 0 {
+		return false
+	}
+	s.value--
+	c.AdvanceTo(s.readyAt)
+	return true
+}
+
+// Value returns the current count (for tests).
+func (s *Semaphore) Value() int { return s.value }

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a named set of monotonically increasing counters. The zero
+// value is not usable; construct with NewCounters.
+type Counters struct {
+	vals map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Inc adds delta to the named counter, creating it at zero if absent.
+func (c *Counters) Inc(name string, delta int64) {
+	c.vals[name] += delta
+}
+
+// Get returns the value of the named counter (0 if never incremented).
+func (c *Counters) Get(name string) int64 {
+	return c.vals[name]
+}
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.vals))
+	for name := range c.vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	for name := range c.vals {
+		delete(c.vals, name)
+	}
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders counters as "name=value" pairs in sorted order.
+func (c *Counters) String() string {
+	names := c.Names()
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, c.vals[name]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ErrorRate tracks correct/incorrect decisions (e.g. decoded covert-channel
+// bits or side-channel guesses) and reports the fraction wrong.
+type ErrorRate struct {
+	correct int64
+	wrong   int64
+}
+
+// Record adds one decision outcome.
+func (e *ErrorRate) Record(ok bool) {
+	if ok {
+		e.correct++
+	} else {
+		e.wrong++
+	}
+}
+
+// Correct returns the number of correct decisions.
+func (e *ErrorRate) Correct() int64 { return e.correct }
+
+// Wrong returns the number of incorrect decisions.
+func (e *ErrorRate) Wrong() int64 { return e.wrong }
+
+// Total returns the total number of decisions.
+func (e *ErrorRate) Total() int64 { return e.correct + e.wrong }
+
+// Rate returns wrong/total, or 0 when no decisions were recorded.
+func (e *ErrorRate) Rate() float64 {
+	total := e.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(e.wrong) / float64(total)
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("Get(missing) = %d, want 0", got)
+	}
+	c.Inc("a", 2)
+	c.Inc("a", 3)
+	c.Inc("b", 1)
+	if got := c.Get("a"); got != 5 {
+		t.Errorf("a = %d, want 5", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v, want [a b]", names)
+	}
+	if got := c.String(); got != "a=5 b=1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	c := NewCounters()
+	c.Inc("x", 1)
+	snap := c.Snapshot()
+	snap["x"] = 99
+	if got := c.Get("x"); got != 1 {
+		t.Fatalf("snapshot mutation leaked into counters: x = %d", got)
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	c := NewCounters()
+	c.Inc("x", 7)
+	c.Reset()
+	if got := c.Get("x"); got != 0 {
+		t.Fatalf("after Reset x = %d, want 0", got)
+	}
+	if len(c.Names()) != 0 {
+		t.Fatalf("after Reset names = %v, want empty", c.Names())
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	var e ErrorRate
+	if e.Rate() != 0 {
+		t.Fatalf("empty Rate = %v, want 0", e.Rate())
+	}
+	for i := 0; i < 9; i++ {
+		e.Record(true)
+	}
+	e.Record(false)
+	if got := e.Rate(); got != 0.1 {
+		t.Errorf("Rate = %v, want 0.1", got)
+	}
+	if e.Correct() != 9 || e.Wrong() != 1 || e.Total() != 10 {
+		t.Errorf("counts = %d/%d/%d, want 9/1/10", e.Correct(), e.Wrong(), e.Total())
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("different seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnDegenerate(t *testing.T) {
+	r := NewRNG(7)
+	if got := r.Intn(0); got != 0 {
+		t.Fatalf("Intn(0) = %d, want 0", got)
+	}
+	if got := r.Intn(-5); got != 0 {
+		t.Fatalf("Intn(-5) = %d, want 0", got)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(9)
+	trues := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	frac := float64(trues) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %.3f, want ~0.3", frac)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(11)
+	childA := parent.Split()
+	childB := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if childA.Uint64() == childB.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("split streams correlated: %d identical values", same)
+	}
+}
+
+func TestRNGInt63NonNegative(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63() = %d, want non-negative", v)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatalf("empty summary not zeroed: %s", s.String())
+	}
+}
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+}
+
+func TestSummaryMinMaxProperty(t *testing.T) {
+	check := func(vs []float64) bool {
+		var s Summary
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	// Restrict to small magnitudes to avoid float overflow in sumSq.
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	if err := quick.Check(func(raw []uint16) bool {
+		vs := make([]float64, len(raw))
+		for i, r := range raw {
+			vs[i] = float64(r)
+		}
+		return check(vs)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"pair", []float64{1, 4}, 2},
+		{"ignores-nonpositive", []float64{-1, 0, 4, 1}, 2},
+		{"identity", []float64{3, 3, 3}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := GeometricMean(tt.in); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("GeometricMean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25},
+	}
+	for _, tt := range tests {
+		if got := Percentile(vs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	vs := []float64{3, 1, 2}
+	Percentile(vs, 50)
+	if vs[0] != 3 || vs[1] != 1 || vs[2] != 2 {
+		t.Fatalf("input mutated: %v", vs)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	if err := quick.Check(func(raw []uint8, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vs[i] = float64(r)
+			lo = math.Min(lo, vs[i])
+			hi = math.Max(hi, vs[i])
+		}
+		got := Percentile(vs, float64(p%101))
+		return got >= lo && got <= hi
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

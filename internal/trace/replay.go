@@ -1,0 +1,85 @@
+package trace
+
+import "repro/internal/sim"
+
+// ReplayResult reports one trace replay.
+type ReplayResult struct {
+	// Cycles is the simulated execution time of the replay.
+	Cycles int64
+	// Accesses is the number of operations issued.
+	Accesses int64
+	// MemCycles is the portion spent in the memory system (total minus
+	// the recorded compute gaps).
+	MemCycles int64
+}
+
+// Replay issues the trace through the given core, honoring the recorded
+// compute gaps between operations. Replaying the same trace against
+// machines with different memory-controller defenses isolates exactly the
+// defense's latency contribution.
+func Replay(t *Trace, core *sim.Core) ReplayResult {
+	start := core.Now()
+	var gaps int64
+	for _, r := range t.Records {
+		core.Advance(r.Gap)
+		gaps += r.Gap
+		if r.Write {
+			core.Hierarchy().Store(core.Now(), r.Addr, r.PC)
+			core.Advance(1)
+		} else {
+			core.Load(r.Addr, r.PC)
+		}
+	}
+	total := core.Now() - start
+	return ReplayResult{
+		Cycles:    total,
+		Accesses:  int64(len(t.Records)),
+		MemCycles: total - gaps,
+	}
+}
+
+// Recorder captures an access stream while forwarding it to a core, so a
+// workload can be traced by running it once.
+type Recorder struct {
+	core    *sim.Core
+	trace   *Trace
+	lastEnd int64
+}
+
+// NewRecorder wraps a core; accesses issued through Load/Store are both
+// executed and recorded.
+func NewRecorder(core *sim.Core) *Recorder {
+	return &Recorder{core: core, trace: &Trace{}, lastEnd: core.Now()}
+}
+
+// Load executes and records a load.
+func (r *Recorder) Load(addr, pc uint64) {
+	gap := r.core.Now() - r.lastEnd
+	if gap < 0 {
+		gap = 0
+	}
+	r.core.Load(addr, pc)
+	r.trace.Append(Record{Gap: gap, Addr: addr, PC: pc})
+	r.lastEnd = r.core.Now()
+}
+
+// Store executes and records a store.
+func (r *Recorder) Store(addr, pc uint64) {
+	gap := r.core.Now() - r.lastEnd
+	if gap < 0 {
+		gap = 0
+	}
+	r.core.Hierarchy().Store(r.core.Now(), addr, pc)
+	r.core.Advance(1)
+	r.trace.Append(Record{Gap: gap, Addr: addr, PC: pc, Write: true})
+	r.lastEnd = r.core.Now()
+}
+
+// Compute advances the core; the time is attributed to the next record's
+// gap.
+func (r *Recorder) Compute(cycles int64) {
+	r.core.Advance(cycles)
+}
+
+// Trace returns the captured trace.
+func (r *Recorder) Trace() *Trace { return r.trace }

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+func TestSerializationRoundTrip(t *testing.T) {
+	check := func(gaps []uint16, addrs []uint32) bool {
+		var tr Trace
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		for i := 0; i < n; i++ {
+			tr.Append(Record{
+				Gap:   int64(gaps[i]),
+				Addr:  uint64(addrs[i]),
+				PC:    uint64(i),
+				Write: i%3 == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		var back Trace
+		if _, err := back.ReadFrom(&buf); err != nil {
+			return false
+		}
+		if len(back.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range tr.Records {
+			if back.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	var tr Trace
+	if _, err := tr.ReadFrom(bytes.NewReader([]byte("nonsense stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := tr.ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Truncated valid header.
+	var buf bytes.Buffer
+	good := Trace{Records: []Record{{Gap: 1, Addr: 2, PC: 3}}}
+	if _, err := good.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := tr.ReadFrom(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func newReplayCore(t *testing.T, defense memctrl.Defense) *sim.Core {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Noise.EventsPerMCycle = 0
+	cfg.Mem.Defense = defense
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Core(0)
+}
+
+func TestRecordAndReplayMatchTiming(t *testing.T) {
+	// Record a synthetic pointer-chase, then replay it on an identical
+	// machine: timings must agree exactly.
+	rec := NewRecorder(newReplayCore(t, memctrl.DefenseNone))
+	addr := uint64(0x100000)
+	for i := 0; i < 500; i++ {
+		rec.Compute(3)
+		rec.Load(addr, 0x1)
+		addr = addr*6364136223846793005 + 1442695040888963407
+		addr &= 0xfff_ffc0
+		if i%7 == 0 {
+			rec.Store(addr, 0x2)
+		}
+	}
+	tr := rec.Trace()
+	res := Replay(tr, newReplayCore(t, memctrl.DefenseNone))
+	if res.Accesses != int64(tr.Len()) {
+		t.Fatalf("replayed %d of %d accesses", res.Accesses, tr.Len())
+	}
+	again := Replay(tr, newReplayCore(t, memctrl.DefenseNone))
+	if res.Cycles != again.Cycles {
+		t.Fatalf("replay nondeterministic: %d vs %d", res.Cycles, again.Cycles)
+	}
+}
+
+func TestReplayExposesDefenseCost(t *testing.T) {
+	rec := NewRecorder(newReplayCore(t, memctrl.DefenseNone))
+	// A row-friendly stream: mostly hits, which CTD hurts the most.
+	for i := 0; i < 2000; i++ {
+		rec.Compute(2)
+		rec.Load(0x200000+uint64(i%512)*64, 0x3)
+	}
+	tr := rec.Trace()
+	baseline := Replay(tr, newReplayCore(t, memctrl.DefenseNone))
+	padded := Replay(tr, newReplayCore(t, memctrl.DefenseConstantTime))
+	if padded.Cycles <= baseline.Cycles {
+		t.Fatalf("CTD replay %d not slower than baseline %d", padded.Cycles, baseline.Cycles)
+	}
+	if padded.MemCycles <= baseline.MemCycles {
+		t.Fatal("defense cost not attributed to memory cycles")
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	res := Replay(&Trace{}, newReplayCore(t, memctrl.DefenseNone))
+	if res.Accesses != 0 || res.Cycles != 0 {
+		t.Fatalf("empty replay = %+v", res)
+	}
+}

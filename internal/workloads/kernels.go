@@ -1,0 +1,294 @@
+package workloads
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Result reports one workload execution on the simulated machine.
+type Result struct {
+	Name string
+	// Cycles is the simulated execution time.
+	Cycles int64
+	// Accesses is the number of memory operations issued.
+	Accesses int64
+	// Checksum is a defense-independent digest of the computation's
+	// output: defenses must change timing, never results.
+	Checksum uint64
+}
+
+// Workload is one Figure 12 benchmark.
+type Workload interface {
+	Name() string
+	Run(core *sim.Core) Result
+}
+
+// BFS is GraphBIG's breadth-first search from vertex 0.
+type BFS struct{ G *Graph }
+
+// Name implements Workload.
+func (BFS) Name() string { return "BFS" }
+
+// Run implements Workload.
+func (w BFS) Run(core *sim.Core) Result {
+	mem := NewMem(core)
+	start := core.Now()
+	depth := make([]int32, w.G.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	frontier := []int32{0}
+	var checksum uint64
+	for len(frontier) > 0 {
+		var next []int32
+		for _, v := range frontier {
+			mem.Load4(baseOffsets, int(v), 0x1001)
+			mem.Load4(baseOffsets, int(v)+1, 0x1002)
+			for ei := w.G.Offsets[v]; ei < w.G.Offsets[v+1]; ei++ {
+				mem.Load4(baseEdges, int(ei), 0x1003)
+				dst := w.G.Edges[ei]
+				mem.Load4(baseVisited, int(dst), 0x1004)
+				if depth[dst] < 0 {
+					depth[dst] = depth[v] + 1
+					mem.Store4(baseVisited, int(dst), 0x1005)
+					next = append(next, dst)
+				}
+			}
+		}
+		frontier = next
+	}
+	for _, d := range depth {
+		checksum += uint64(d + 2)
+	}
+	return Result{Name: w.Name(), Cycles: core.Now() - start, Accesses: mem.Accesses(), Checksum: checksum}
+}
+
+// CC is GraphBIG's connected components via label propagation.
+type CC struct {
+	G        *Graph
+	MaxIters int
+}
+
+// Name implements Workload.
+func (CC) Name() string { return "CC" }
+
+// Run implements Workload.
+func (w CC) Run(core *sim.Core) Result {
+	mem := NewMem(core)
+	start := core.Now()
+	iters := w.MaxIters
+	if iters <= 0 {
+		iters = 8
+	}
+	labels := make([]int32, w.G.N)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	for it := 0; it < iters; it++ {
+		changed := false
+		for v := int32(0); int(v) < w.G.N; v++ {
+			mem.Load4(baseOffsets, int(v), 0x2001)
+			mem.Load4(baseLabels, int(v), 0x2002)
+			best := labels[v]
+			for ei := w.G.Offsets[v]; ei < w.G.Offsets[v+1]; ei++ {
+				mem.Load4(baseEdges, int(ei), 0x2003)
+				dst := w.G.Edges[ei]
+				mem.Load4(baseLabels, int(dst), 0x2004)
+				if labels[dst] < best {
+					best = labels[dst]
+				}
+			}
+			if best < labels[v] {
+				labels[v] = best
+				mem.Store4(baseLabels, int(v), 0x2005)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var checksum uint64
+	for _, l := range labels {
+		checksum += uint64(l)
+	}
+	return Result{Name: w.Name(), Cycles: core.Now() - start, Accesses: mem.Accesses(), Checksum: checksum}
+}
+
+// TC is GraphBIG's triangle counting via sorted adjacency intersection over
+// a vertex sample (real deployments shard the same way).
+type TC struct {
+	G      *Graph
+	Sample int
+}
+
+// Name implements Workload.
+func (TC) Name() string { return "TC" }
+
+// Run implements Workload.
+func (w TC) Run(core *sim.Core) Result {
+	mem := NewMem(core)
+	start := core.Now()
+	sample := w.Sample
+	if sample <= 0 || sample > w.G.N {
+		sample = w.G.N
+	}
+	var triangles uint64
+	for v := int32(0); int(v) < sample; v++ {
+		mem.Load4(baseOffsets, int(v), 0x3001)
+		adjV := w.G.Neighbors(v)
+		for ui, u := range adjV {
+			mem.Load4(baseEdges, int(w.G.Offsets[v])+ui, 0x3002)
+			if u <= v {
+				continue
+			}
+			adjU := w.G.Neighbors(u)
+			// Two-pointer intersection of sorted adjacency lists.
+			i, j := 0, 0
+			for i < len(adjV) && j < len(adjU) {
+				mem.Load4(baseEdges, int(w.G.Offsets[v])+i, 0x3003)
+				mem.Load4(baseEdges, int(w.G.Offsets[u])+j, 0x3004)
+				switch {
+				case adjV[i] == adjU[j]:
+					if adjV[i] > u {
+						triangles++
+					}
+					i++
+					j++
+				case adjV[i] < adjU[j]:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return Result{Name: w.Name(), Cycles: core.Now() - start, Accesses: mem.Accesses(), Checksum: triangles}
+}
+
+// BC is GraphBIG's betweenness centrality (Brandes' algorithm) from a few
+// source vertices.
+type BC struct {
+	G       *Graph
+	Sources int
+}
+
+// Name implements Workload.
+func (BC) Name() string { return "BC" }
+
+// Run implements Workload.
+func (w BC) Run(core *sim.Core) Result {
+	mem := NewMem(core)
+	start := core.Now()
+	sources := w.Sources
+	if sources <= 0 {
+		sources = 2
+	}
+	n := w.G.N
+	centrality := make([]float64, n)
+	for s := 0; s < sources && s < n; s++ {
+		// Forward BFS accumulating shortest-path counts (sigma).
+		sigma := make([]float64, n)
+		dist := make([]int32, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		order := []int32{int32(s)}
+		for qi := 0; qi < len(order); qi++ {
+			v := order[qi]
+			mem.Load4(baseOffsets, int(v), 0x4001)
+			for ei := w.G.Offsets[v]; ei < w.G.Offsets[v+1]; ei++ {
+				mem.Load4(baseEdges, int(ei), 0x4002)
+				dst := w.G.Edges[ei]
+				mem.Load4(baseSigma, int(dst), 0x4003)
+				if dist[dst] < 0 {
+					dist[dst] = dist[v] + 1
+					order = append(order, dst)
+				}
+				if dist[dst] == dist[v]+1 {
+					sigma[dst] += sigma[v]
+					mem.Store4(baseSigma, int(dst), 0x4004)
+				}
+			}
+		}
+		// Reverse dependency accumulation.
+		delta := make([]float64, n)
+		for qi := len(order) - 1; qi >= 0; qi-- {
+			v := order[qi]
+			mem.Load4(baseOffsets, int(v), 0x4005)
+			for ei := w.G.Offsets[v]; ei < w.G.Offsets[v+1]; ei++ {
+				mem.Load4(baseEdges, int(ei), 0x4006)
+				dst := w.G.Edges[ei]
+				mem.Load4(baseDelta, int(dst), 0x4007)
+				if dist[dst] == dist[v]+1 && sigma[dst] > 0 {
+					delta[v] += sigma[v] / sigma[dst] * (1 + delta[dst])
+				}
+			}
+			if v != int32(s) {
+				centrality[v] += delta[v]
+				mem.Store4(baseDelta, int(v), 0x4008)
+			}
+		}
+	}
+	var checksum uint64
+	for _, c := range centrality {
+		checksum += uint64(c * 16)
+	}
+	return Result{Name: w.Name(), Cycles: core.Now() - start, Accesses: mem.Accesses(), Checksum: checksum}
+}
+
+// XSBench is the Monte Carlo neutron-transport cross-section lookup kernel
+// (Tramm et al., PHYSOR'14): random energy lookups binary-search an energy
+// grid, then gather cross sections for every nuclide at that grid point.
+type XSBench struct {
+	GridPoints int
+	Nuclides   int
+	Lookups    int
+	Seed       uint64
+}
+
+// Name implements Workload.
+func (XSBench) Name() string { return "XS" }
+
+// Run implements Workload.
+func (w XSBench) Run(core *sim.Core) Result {
+	mem := NewMem(core)
+	start := core.Now()
+	grid := w.GridPoints
+	if grid <= 0 {
+		grid = 1 << 16
+	}
+	nuclides := w.Nuclides
+	if nuclides <= 0 {
+		nuclides = 64
+	}
+	lookups := w.Lookups
+	if lookups <= 0 {
+		lookups = 50000
+	}
+	rng := stats.NewRNG(w.Seed + 1)
+	var checksum uint64
+	for l := 0; l < lookups; l++ {
+		target := rng.Intn(grid)
+		// Binary search over the energy grid.
+		lo, hi := 0, grid-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			mem.Load4(baseGrid, mid, 0x5001)
+			if mid < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// Gather the macroscopic cross section over all nuclides.
+		for nu := 0; nu < nuclides; nu++ {
+			mem.Load4(baseXS, lo*nuclides+nu, 0x5002)
+			checksum += uint64(lo*nuclides+nu) & 0xff
+		}
+	}
+	return Result{Name: w.Name(), Cycles: core.Now() - start, Accesses: mem.Accesses(), Checksum: checksum}
+}

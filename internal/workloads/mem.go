@@ -1,0 +1,58 @@
+package workloads
+
+import "repro/internal/sim"
+
+// Array base virtual addresses: each logical array of a workload lives in
+// its own region so cache and DRAM behaviour reflects real data layouts.
+const (
+	baseOffsets  = 0x10_0000_0000
+	baseEdges    = 0x11_0000_0000
+	baseVisited  = 0x12_0000_0000
+	baseLabels   = 0x13_0000_0000
+	baseSigma    = 0x14_0000_0000
+	baseDelta    = 0x15_0000_0000
+	baseFrontier = 0x16_0000_0000
+	baseGrid     = 0x20_0000_0000
+	baseXS       = 0x21_0000_0000
+)
+
+// Mem issues a workload's memory operations through a simulated core, and
+// charges a small per-operation compute cost so the memory share of total
+// runtime is realistic for memory-intensive kernels.
+type Mem struct {
+	core      *sim.Core
+	computeOp int64
+	accesses  int64
+}
+
+// NewMem wraps a core with the default 3-cycle per-op compute cost.
+func NewMem(core *sim.Core) *Mem {
+	return &Mem{core: core, computeOp: 3}
+}
+
+// Load4 reads the 4-byte element idx of the array at base, with pc
+// identifying the load site (prefetchers key on it).
+func (w *Mem) Load4(base uint64, idx int, pc uint64) {
+	w.core.Advance(w.computeOp)
+	w.core.Load(base+uint64(idx)*4, pc)
+	w.accesses++
+}
+
+// Store4 writes the 4-byte element idx of the array at base.
+func (w *Mem) Store4(base uint64, idx int, pc uint64) {
+	w.core.Advance(w.computeOp)
+	w.core.Hierarchy().Store(w.core.Now(), base+uint64(idx)*4, pc)
+	w.core.Advance(1) // stores retire off the critical path
+	w.accesses++
+}
+
+// Compute charges pure compute cycles.
+func (w *Mem) Compute(cycles int64) {
+	w.core.Advance(cycles)
+}
+
+// Accesses returns the number of memory operations issued.
+func (w *Mem) Accesses() int64 { return w.accesses }
+
+// Now returns the core clock.
+func (w *Mem) Now() int64 { return w.core.Now() }
