@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench-smoke bench
+
+ci: fmt vet build test race bench-smoke
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel experiment runner must stay race-clean and deterministic.
+race:
+	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
+
+# Quick regression signal on the allocation-free hot path.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkCacheAccess|BenchmarkBankAccess' -benchtime 100x -benchmem .
+
+bench:
+	$(GO) test -bench . -benchmem .

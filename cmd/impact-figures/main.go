@@ -20,6 +20,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("impact-figures", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run the full-size experiments (slower)")
+	workers := fs.Int("workers", 0, "experiment worker pool size (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -27,7 +28,7 @@ func run(args []string) error {
 	if *full {
 		scale = figures.ScaleFull
 	}
-	reports, err := figures.All(scale)
+	reports, err := figures.RunParallel(scale, *workers)
 	if err != nil {
 		return err
 	}

@@ -42,6 +42,19 @@ func (p ReplacementPolicy) String() string {
 
 const srripMax = 3 // 2-bit RRPV
 
+// Fixed counter IDs for the per-level statistics, in the slot order passed
+// to stats.NewFixed below. The hot path increments these by index; the
+// string names remain visible through the Counters export API.
+const (
+	CounterHit stats.CounterID = iota
+	CounterMiss
+	CounterWriteback
+)
+
+func newCounters() *stats.Counters {
+	return stats.NewFixed("hit", "miss", "writeback")
+}
+
 type line struct {
 	tag   uint64
 	valid bool
@@ -68,7 +81,15 @@ type Cache struct {
 	cfg      Config
 	sets     int
 	lineBits uint
+	// setShift is log2(sets) and tagShift is lineBits+setShift, both fixed
+	// at construction so tag extraction and writeback-address
+	// reconstruction are single shifts instead of per-access loops.
+	setShift uint
+	tagShift uint
 	setMask  uint64
+	// direct marks a direct-mapped (1-way) geometry, whose miss path can
+	// skip victim selection (the probe is already a single tag compare).
+	direct   bool
 	lines    [][]line
 	next     Level
 	counters *stats.Counters
@@ -100,14 +121,18 @@ func New(cfg Config, next Level) (*Cache, error) {
 	for i := range lines {
 		lines[i] = make([]line, cfg.Ways)
 	}
+	setShift := uint(setBits(sets))
 	return &Cache{
 		cfg:      cfg,
 		sets:     sets,
 		lineBits: lineBits,
+		setShift: setShift,
+		tagShift: lineBits + setShift,
 		setMask:  uint64(sets - 1),
+		direct:   cfg.Ways == 1,
 		lines:    lines,
 		next:     next,
-		counters: stats.NewCounters(),
+		counters: newCounters(),
 	}, nil
 }
 
@@ -129,7 +154,7 @@ func (c *Cache) SetIndex(addr uint64) int {
 }
 
 func (c *Cache) tagOf(addr uint64) uint64 {
-	return addr >> c.lineBits >> uint(setBits(c.sets))
+	return addr >> c.tagShift
 }
 
 func setBits(sets int) int {
@@ -148,7 +173,7 @@ func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
 	ways := c.lines[set]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
-			c.counters.Inc("hit", 1)
+			c.counters.Add(CounterHit, 1)
 			c.touch(&ways[i])
 			if write {
 				ways[i].dirty = true
@@ -156,14 +181,19 @@ func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
 			return c.cfg.Latency
 		}
 	}
-	c.counters.Inc("miss", 1)
+	c.counters.Add(CounterMiss, 1)
 	// Miss: probe cost, fill from next level, insert.
 	fill := c.next.Access(now+c.cfg.Latency, addr, false)
-	victim := c.selectVictim(ways)
+	// Direct-mapped fast path: the probe above was a single compare, and
+	// the victim is always way 0 — skip victim selection entirely.
+	victim := 0
+	if !c.direct {
+		victim = c.selectVictim(ways)
+	}
 	if ways[victim].valid {
 		wbAddr := c.reconstruct(ways[victim].tag, set)
 		if ways[victim].dirty {
-			c.counters.Inc("writeback", 1)
+			c.counters.Add(CounterWriteback, 1)
 			// Writebacks happen off the critical path but still disturb
 			// DRAM state; model the access without charging the requester.
 			c.next.Access(now+c.cfg.Latency, wbAddr, true)
@@ -217,7 +247,7 @@ func (c *Cache) selectVictim(ways []line) int {
 
 // reconstruct rebuilds a line-aligned address from tag and set.
 func (c *Cache) reconstruct(tag uint64, set int) uint64 {
-	return (tag<<uint(setBits(c.sets))|uint64(set))<<c.lineBits | 0
+	return (tag<<c.setShift | uint64(set)) << c.lineBits
 }
 
 // SetEvictHook installs a callback invoked with the address of every line

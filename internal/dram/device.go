@@ -70,6 +70,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Fixed counter IDs for device statistics, in the slot order passed to
+// stats.NewFixed in NewDevice.
+const (
+	CounterHit stats.CounterID = iota
+	CounterEmpty
+	CounterConflict
+	CounterRowClone
+)
+
 // Device is a full DRAM module: a flat array of banks (the hierarchy is
 // encoded by AddrMapper) with shared timing and access statistics.
 type Device struct {
@@ -88,7 +97,11 @@ func NewDevice(cfg Config) (*Device, error) {
 		banks[i] = NewBank(cfg.Timing, cfg.RowBytes)
 		banks[i].SetMaintenance(cfg.Maintenance)
 	}
-	return &Device{cfg: cfg, banks: banks, counters: stats.NewCounters()}, nil
+	return &Device{
+		cfg:      cfg,
+		banks:    banks,
+		counters: stats.NewFixed("hit", "empty", "conflict", "rowclone"),
+	}, nil
 }
 
 // Config returns the device configuration.
@@ -138,7 +151,7 @@ func (d *Device) RowClone(now int64, bank int, srcRow, dstRow int64) (AccessResu
 	}
 	res := b.RowClone(now, srcRow, dstRow)
 	d.record(res.Outcome)
-	d.counters.Inc("rowclone", 1)
+	d.counters.Add(CounterRowClone, 1)
 	return res, nil
 }
 
@@ -163,10 +176,10 @@ func (d *Device) Counters() *stats.Counters { return d.counters }
 func (d *Device) record(o Outcome) {
 	switch o {
 	case OutcomeHit:
-		d.counters.Inc("hit", 1)
+		d.counters.Add(CounterHit, 1)
 	case OutcomeEmpty:
-		d.counters.Inc("empty", 1)
+		d.counters.Add(CounterEmpty, 1)
 	case OutcomeConflict:
-		d.counters.Inc("conflict", 1)
+		d.counters.Add(CounterConflict, 1)
 	}
 }

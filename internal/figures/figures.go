@@ -7,7 +7,9 @@ package figures
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // Row is one paper-vs-measured comparison line.
@@ -65,13 +67,17 @@ func (s Scale) bits() int {
 	return 512
 }
 
-// All regenerates every artifact in paper order.
-func All(scale Scale) ([]Report, error) {
-	type gen struct {
-		name string
-		fn   func(Scale) (Report, error)
-	}
-	gens := []gen{
+// generator names one artifact generator.
+type generator struct {
+	name string
+	fn   func(Scale) (Report, error)
+}
+
+// generators returns every artifact generator in paper order. Each
+// generator builds its own sim.Machine from fixed seeds, so generators are
+// independent and safe to run concurrently.
+func generators() []generator {
+	return []generator{
 		{"rowbuffer", RowBufferGap},
 		{"table1", Table1},
 		{"table2", Table2},
@@ -87,6 +93,11 @@ func All(scale Scale) ([]Report, error) {
 		{"section8.4", Section84},
 		{"framing", ReliableFraming},
 	}
+}
+
+// All regenerates every artifact sequentially in paper order.
+func All(scale Scale) ([]Report, error) {
+	gens := generators()
 	out := make([]Report, 0, len(gens))
 	for _, g := range gens {
 		rep, err := g.fn(scale)
@@ -94,6 +105,55 @@ func All(scale Scale) ([]Report, error) {
 			return nil, fmt.Errorf("%s: %w", g.name, err)
 		}
 		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// RunParallel regenerates every artifact using a pool of workers, each
+// trial on its own sim.Machine. The returned reports are identical to
+// All's — same paper order, same values (every generator is seeded) — only
+// the wall-clock time changes. workers <= 0 selects runtime.NumCPU(), and
+// workers == 1 degenerates to the sequential path. When several
+// generators fail, the error of the earliest one in paper order is
+// returned, again matching All.
+func RunParallel(scale Scale, workers int) ([]Report, error) {
+	gens := generators()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(gens) {
+		workers = len(gens)
+	}
+	if workers == 1 {
+		return All(scale)
+	}
+	out := make([]Report, len(gens))
+	errs := make([]error, len(gens))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rep, err := gens[i].fn(scale)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", gens[i].name, err)
+					continue
+				}
+				out[i] = rep
+			}
+		}()
+	}
+	for i := range gens {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -66,6 +67,33 @@ func TestFig8SeparatesBands(t *testing.T) {
 	for _, row := range rep.Rows {
 		if strings.Contains(row.Label, "errors") && !strings.HasPrefix(row.Measured, "0/") {
 			t.Fatalf("PoC decoded with errors: %s = %s", row.Label, row.Measured)
+		}
+	}
+}
+
+// TestRunParallelMatchesSequential pins RunParallel's determinism contract:
+// same reports, same order, same values as the sequential runner. Run under
+// -race (see the Makefile) this also exercises the worker pool for data
+// races between concurrently built machines.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	seq, err := All(ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(ScaleQuick, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel reports = %d, sequential = %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("report %d (%s) differs between sequential and parallel runs:\nseq: %+v\npar: %+v",
+				i, seq[i].ID, seq[i], par[i])
 		}
 	}
 }

@@ -85,6 +85,14 @@ func ACTConservative() ACTConfig {
 	return ACTConfig{EpochCycles: 2600, ConflictThreshold: 5, PenaltyEpochs: 2}
 }
 
+// Fixed counter IDs for controller statistics, in the slot order passed to
+// stats.NewFixed in New.
+const (
+	CounterRequests stats.CounterID = iota
+	CounterACTPadded
+	CounterPartitionViolation
+)
+
 // actBankState tracks per-bank epoch accounting for the ACT defense.
 type actBankState struct {
 	epoch              int64
@@ -130,7 +138,7 @@ func New(dev *dram.Device, cfg Config) *Controller {
 		cfg:      cfg,
 		actState: make([]actBankState, n),
 		owners:   owners,
-		counters: stats.NewCounters(),
+		counters: stats.NewFixed("requests", "act_padded", "partition_violation"),
 	}
 }
 
@@ -162,7 +170,7 @@ func (c *Controller) Access(now int64, bank int, row int64, proc int) (dram.Acce
 	if c.cfg.Defense == DefensePartition {
 		if bank >= 0 && bank < len(c.owners) {
 			if owner := c.owners[bank]; owner >= 0 && owner != proc {
-				c.counters.Inc("partition_violation", 1)
+				c.counters.Add(CounterPartitionViolation, 1)
 				return dram.AccessResult{}, ErrPartitionViolation
 			}
 		}
@@ -173,7 +181,7 @@ func (c *Controller) Access(now int64, bank int, row int64, proc int) (dram.Acce
 		return dram.AccessResult{}, err
 	}
 	res.Latency += c.cfg.RequestOverhead
-	c.counters.Inc("requests", 1)
+	c.counters.Add(CounterRequests, 1)
 
 	switch c.cfg.Defense {
 	case DefenseClosedRow:
@@ -188,7 +196,7 @@ func (c *Controller) Access(now int64, bank int, row int64, proc int) (dram.Acce
 	case DefenseAdaptive:
 		if c.actObserve(now, bank, res.Outcome) {
 			res.Latency = c.padded(res.Latency)
-			c.counters.Inc("act_padded", 1)
+			c.counters.Add(CounterACTPadded, 1)
 		}
 	}
 	return res, nil
@@ -199,7 +207,7 @@ func (c *Controller) Activate(now int64, bank int, row int64, proc int) (dram.Ac
 	if c.cfg.Defense == DefensePartition {
 		if bank >= 0 && bank < len(c.owners) {
 			if owner := c.owners[bank]; owner >= 0 && owner != proc {
-				c.counters.Inc("partition_violation", 1)
+				c.counters.Add(CounterPartitionViolation, 1)
 				return dram.AccessResult{}, ErrPartitionViolation
 			}
 		}
@@ -209,7 +217,7 @@ func (c *Controller) Activate(now int64, bank int, row int64, proc int) (dram.Ac
 		return dram.AccessResult{}, err
 	}
 	res.Latency += c.cfg.RequestOverhead
-	c.counters.Inc("requests", 1)
+	c.counters.Add(CounterRequests, 1)
 	switch c.cfg.Defense {
 	case DefenseClosedRow:
 		if b := c.dev.Bank(bank); b != nil {
@@ -226,7 +234,7 @@ func (c *Controller) RowClone(now int64, bank int, srcRow, dstRow int64, proc in
 	if c.cfg.Defense == DefensePartition {
 		if bank >= 0 && bank < len(c.owners) {
 			if owner := c.owners[bank]; owner >= 0 && owner != proc {
-				c.counters.Inc("partition_violation", 1)
+				c.counters.Add(CounterPartitionViolation, 1)
 				return dram.AccessResult{}, ErrPartitionViolation
 			}
 		}
@@ -236,7 +244,7 @@ func (c *Controller) RowClone(now int64, bank int, srcRow, dstRow int64, proc in
 		return dram.AccessResult{}, err
 	}
 	res.Latency += c.cfg.RequestOverhead
-	c.counters.Inc("requests", 1)
+	c.counters.Add(CounterRequests, 1)
 	switch c.cfg.Defense {
 	case DefenseClosedRow:
 		if b := c.dev.Bank(bank); b != nil {
@@ -247,7 +255,7 @@ func (c *Controller) RowClone(now int64, bank int, srcRow, dstRow int64, proc in
 	case DefenseAdaptive:
 		if c.actObserve(now, bank, res.Outcome) {
 			res.Latency = c.paddedRowClone(res.Latency)
-			c.counters.Inc("act_padded", 1)
+			c.counters.Add(CounterACTPadded, 1)
 		}
 	}
 	return res, nil

@@ -13,6 +13,13 @@ import (
 	"repro/internal/stats"
 )
 
+// Fixed counter IDs for the PEI engine's dispatch statistics, in the slot
+// order passed to stats.NewFixed in NewPEIEngine.
+const (
+	CounterHostSide stats.CounterID = iota
+	CounterMemorySide
+)
+
 // PEICosts collects the software/uncore cost constants of the PEI path.
 type PEICosts struct {
 	// IssueCost is the core-side cost of dispatching one synchronous PEI
@@ -108,7 +115,7 @@ func NewPEIEngine(ctrl *memctrl.Controller, mapper *dram.AddrMapper, host cache.
 		monitor:  NewLocalityMonitor(256),
 		host:     host,
 		costs:    costs,
-		counters: stats.NewCounters(),
+		counters: stats.NewFixed("host_side", "memory_side"),
 	}
 }
 
@@ -124,11 +131,11 @@ func (e *PEIEngine) Counters() *stats.Counters { return e.counters }
 func (e *PEIEngine) Execute(now int64, addr uint64, proc int) (PEIResult, error) {
 	highLocality := e.monitor.Observe(addr)
 	if highLocality && e.host != nil {
-		e.counters.Inc("host_side", 1)
+		e.counters.Add(CounterHostSide, 1)
 		lat := e.costs.IssueCost + e.costs.HostExtra + e.host.Access(now+e.costs.IssueCost, addr, false)
 		return PEIResult{Latency: lat, CompletedAt: now + lat, NearMemory: false}, nil
 	}
-	e.counters.Inc("memory_side", 1)
+	e.counters.Add(CounterMemorySide, 1)
 	coord := e.mapper.Map(addr)
 	bank := coord.FlatBank(e.ctrl.Device().Config())
 	start := now + e.costs.IssueCost + e.costs.PEIOverhead
@@ -152,11 +159,11 @@ func (e *PEIEngine) Execute(now int64, addr uint64, proc int) (PEIResult, error)
 func (e *PEIEngine) ExecuteAsync(now int64, addr uint64, proc int) (PEIResult, error) {
 	highLocality := e.monitor.Observe(addr)
 	if highLocality && e.host != nil {
-		e.counters.Inc("host_side", 1)
+		e.counters.Add(CounterHostSide, 1)
 		lat := e.costs.AsyncIssueCost + e.costs.HostExtra + e.host.Access(now+e.costs.AsyncIssueCost, addr, false)
 		return PEIResult{Latency: e.costs.AsyncIssueCost, CompletedAt: now + lat, NearMemory: false}, nil
 	}
-	e.counters.Inc("memory_side", 1)
+	e.counters.Add(CounterMemorySide, 1)
 	coord := e.mapper.Map(addr)
 	bank := coord.FlatBank(e.ctrl.Device().Config())
 	start := now + e.costs.AsyncIssueCost + e.costs.PEIOverhead

@@ -6,6 +6,14 @@ import (
 	"repro/internal/stats"
 )
 
+// Fixed counter IDs for the RowClone engine, in the slot order passed to
+// stats.NewFixed in NewRowCloneEngine: per-bank operations dispatched and
+// engine-level requests issued.
+const (
+	CounterOps stats.CounterID = iota
+	CounterRequests
+)
+
 // RowCloneCosts collects the software-path constants of the RowClone
 // interface (Section 4.2: the application specifies source range,
 // destination range and a bank mask in a single request).
@@ -48,7 +56,7 @@ type RowCloneEngine struct {
 
 // NewRowCloneEngine builds a RowClone engine over the controller.
 func NewRowCloneEngine(ctrl *memctrl.Controller, costs RowCloneCosts) *RowCloneEngine {
-	return &RowCloneEngine{ctrl: ctrl, costs: costs, counters: stats.NewCounters()}
+	return &RowCloneEngine{ctrl: ctrl, costs: costs, counters: stats.NewFixed("ops", "requests")}
 }
 
 // Costs returns the engine's cost constants.
@@ -83,9 +91,9 @@ func (e *RowCloneEngine) Submit(now int64, banks []int, mask uint64, srcRow, dst
 		if done := dispatch + res.Latency; done > out.CompletedAt {
 			out.CompletedAt = done
 		}
-		e.counters.Inc("ops", 1)
+		e.counters.Add(CounterOps, 1)
 	}
-	e.counters.Inc("requests", 1)
+	e.counters.Add(CounterRequests, 1)
 	return out, nil
 }
 
@@ -99,7 +107,7 @@ func (e *RowCloneEngine) Measure(now int64, bank int, srcRow, dstRow int64, proc
 	}
 	res.Latency += e.costs.MeasureIssueCost
 	res.CompletedAt = now + res.Latency
-	e.counters.Inc("ops", 1)
-	e.counters.Inc("requests", 1)
+	e.counters.Add(CounterOps, 1)
+	e.counters.Add(CounterRequests, 1)
 	return res, nil
 }

@@ -6,32 +6,94 @@ import (
 	"strings"
 )
 
-// Counters is a named set of monotonically increasing counters. The zero
-// value is not usable; construct with NewCounters.
+// CounterID indexes a fixed counter slot registered at construction time.
+// Subsystems declare a small enum of IDs matching the name order they pass
+// to NewFixed, then increment through Add on the hot path — an array index,
+// no string hash and no allocation.
+type CounterID int
+
+// Counters is a named set of monotonically increasing counters. Hot
+// counters live in fixed integer-indexed slots (NewFixed + Add/Value);
+// the string-keyed API (Inc/Get/Snapshot/...) is retained as a
+// compatibility and export layer over the same slots, with a lazily
+// allocated overflow map for names never registered. The zero value is not
+// usable; construct with NewCounters or NewFixed.
 type Counters struct {
-	vals map[string]int64
+	slots []int64
+	names []string
+	index map[string]CounterID
+	// extra holds counters incremented by a name that was never
+	// registered; nil until first needed so fixed-only sets stay lean.
+	extra map[string]int64
 }
 
-// NewCounters returns an empty counter set.
+// NewCounters returns an empty counter set with no registered slots; every
+// increment goes through the string-keyed overflow map.
 func NewCounters() *Counters {
-	return &Counters{vals: make(map[string]int64)}
+	return NewFixed()
+}
+
+// NewFixed returns a counter set with one fixed slot per name, indexed in
+// argument order: the CounterID for names[i] is i.
+func NewFixed(names ...string) *Counters {
+	c := &Counters{
+		slots: make([]int64, len(names)),
+		names: append([]string(nil), names...),
+		index: make(map[string]CounterID, len(names)),
+	}
+	for i, name := range names {
+		c.index[name] = CounterID(i)
+	}
+	return c
+}
+
+// Add adds delta to a registered slot. This is the hot path: a bounds-checked
+// array index, no hashing, no allocation.
+func (c *Counters) Add(id CounterID, delta int64) {
+	c.slots[id] += delta
+}
+
+// Value returns the current value of a registered slot without hashing.
+func (c *Counters) Value(id CounterID) int64 {
+	return c.slots[id]
 }
 
 // Inc adds delta to the named counter, creating it at zero if absent.
+// Registered names update their fixed slot; others land in the overflow map.
 func (c *Counters) Inc(name string, delta int64) {
-	c.vals[name] += delta
+	if id, ok := c.index[name]; ok {
+		c.slots[id] += delta
+		return
+	}
+	if c.extra == nil {
+		c.extra = make(map[string]int64)
+	}
+	c.extra[name] += delta
 }
 
 // Get returns the value of the named counter (0 if never incremented).
 func (c *Counters) Get(name string) int64 {
-	return c.vals[name]
+	if id, ok := c.index[name]; ok {
+		return c.slots[id]
+	}
+	return c.extra[name]
 }
 
-// Names returns the counter names in sorted order.
+// Names returns the names of all non-zero counters in sorted order.
+// Zero-valued counters — fixed slots never incremented, or overflow
+// entries that only ever saw zero deltas — are omitted, so a counter
+// exists only once meaningfully incremented.
 func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.vals))
-	for name := range c.vals {
-		names = append(names, name)
+	names := make([]string, 0, len(c.slots)+len(c.extra))
+	for i, v := range c.slots {
+		if v != 0 {
+			names = append(names, c.names[i])
+		}
+	}
+	for name, v := range c.extra {
+		if v != 0 {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -39,16 +101,26 @@ func (c *Counters) Names() []string {
 
 // Reset zeroes all counters.
 func (c *Counters) Reset() {
-	for name := range c.vals {
-		delete(c.vals, name)
+	for i := range c.slots {
+		c.slots[i] = 0
+	}
+	for name := range c.extra {
+		delete(c.extra, name)
 	}
 }
 
-// Snapshot returns a copy of the current counter values.
+// Snapshot returns a copy of the current non-zero counter values.
 func (c *Counters) Snapshot() map[string]int64 {
-	out := make(map[string]int64, len(c.vals))
-	for k, v := range c.vals {
-		out[k] = v
+	out := make(map[string]int64, len(c.slots)+len(c.extra))
+	for i, v := range c.slots {
+		if v != 0 {
+			out[c.names[i]] = v
+		}
+	}
+	for k, v := range c.extra {
+		if v != 0 {
+			out[k] = v
+		}
 	}
 	return out
 }
@@ -58,7 +130,7 @@ func (c *Counters) String() string {
 	names := c.Names()
 	parts := make([]string, 0, len(names))
 	for _, name := range names {
-		parts = append(parts, fmt.Sprintf("%s=%d", name, c.vals[name]))
+		parts = append(parts, fmt.Sprintf("%s=%d", name, c.Get(name)))
 	}
 	return strings.Join(parts, " ")
 }

@@ -46,6 +46,82 @@ func TestCountersReset(t *testing.T) {
 	}
 }
 
+func TestFixedSlotsAndStringAPIAgree(t *testing.T) {
+	const (
+		idHit CounterID = iota
+		idMiss
+	)
+	c := NewFixed("hit", "miss")
+	c.Add(idHit, 3)
+	c.Inc("hit", 2) // registered name must land in the same slot
+	c.Add(idMiss, 1)
+	c.Inc("dynamic", 4) // unregistered name goes to the overflow map
+	if got := c.Value(idHit); got != 5 {
+		t.Errorf("Value(hit) = %d, want 5", got)
+	}
+	if got := c.Get("hit"); got != 5 {
+		t.Errorf("Get(hit) = %d, want 5", got)
+	}
+	if got := c.Get("dynamic"); got != 4 {
+		t.Errorf("Get(dynamic) = %d, want 4", got)
+	}
+	snap := c.Snapshot()
+	want := map[string]int64{"hit": 5, "miss": 1, "dynamic": 4}
+	if len(snap) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", snap, want)
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("Snapshot[%s] = %d, want %d", k, snap[k], v)
+		}
+	}
+	if got := c.String(); got != "dynamic=4 hit=5 miss=1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFixedZeroSlotsOmitted(t *testing.T) {
+	c := NewFixed("hit", "miss")
+	c.Add(0, 1)
+	// A never-incremented fixed slot must not surface through the export
+	// API, matching the historical map behavior.
+	if names := c.Names(); len(names) != 1 || names[0] != "hit" {
+		t.Fatalf("Names = %v, want [hit]", names)
+	}
+	if _, ok := c.Snapshot()["miss"]; ok {
+		t.Fatal("zero-valued fixed slot leaked into Snapshot")
+	}
+	// A zero-delta increment of an unregistered name must stay invisible
+	// too: presence semantics are the same for slots and overflow entries.
+	c.Inc("dyn", 0)
+	if names := c.Names(); len(names) != 1 || names[0] != "hit" {
+		t.Fatalf("Names after zero-delta Inc = %v, want [hit]", names)
+	}
+	if _, ok := c.Snapshot()["dyn"]; ok {
+		t.Fatal("zero-valued overflow entry leaked into Snapshot")
+	}
+}
+
+func TestFixedReset(t *testing.T) {
+	c := NewFixed("a")
+	c.Add(0, 7)
+	c.Inc("b", 2)
+	c.Reset()
+	if c.Value(0) != 0 || c.Get("a") != 0 || c.Get("b") != 0 {
+		t.Fatalf("Reset left values: %s", c)
+	}
+	if len(c.Names()) != 0 {
+		t.Fatalf("after Reset names = %v, want empty", c.Names())
+	}
+}
+
+func TestFixedAddNoAllocs(t *testing.T) {
+	c := NewFixed("hit")
+	if avg := testing.AllocsPerRun(1000, func() { c.Add(0, 1) }); avg != 0 {
+		t.Fatalf("Add allocates %v allocs/op, want 0", avg)
+	}
+}
+
 func TestErrorRate(t *testing.T) {
 	var e ErrorRate
 	if e.Rate() != 0 {

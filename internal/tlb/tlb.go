@@ -7,6 +7,14 @@ package tlb
 
 import "repro/internal/stats"
 
+// Fixed counter IDs for MMU statistics, in the slot order passed to
+// stats.NewFixed in DefaultMMU.
+const (
+	CounterL1Hit stats.CounterID = iota
+	CounterL2Hit
+	CounterWalk
+)
+
 // Config describes one TLB level.
 type Config struct {
 	Entries int
@@ -110,7 +118,7 @@ func DefaultMMU(walker Walker) *MMU {
 		stlb:       New(Config{Entries: 1536, Ways: 12, Latency: 12, PageBits: 12}),
 		walker:     walker,
 		WalkLevels: 4,
-		counters:   stats.NewCounters(),
+		counters:   stats.NewFixed("l1_hit", "l2_hit", "walk"),
 	}
 }
 
@@ -126,16 +134,16 @@ func (m *MMU) Translate(now int64, vaddr uint64, huge bool) int64 {
 		l1 = m.dtlb2m
 	}
 	if l1.Lookup(vaddr) {
-		m.counters.Inc("l1_hit", 1)
+		m.counters.Add(CounterL1Hit, 1)
 		return l1.Latency()
 	}
 	lat := l1.Latency()
 	if m.stlb.Lookup(vaddr) {
-		m.counters.Inc("l2_hit", 1)
+		m.counters.Add(CounterL2Hit, 1)
 		return lat + m.stlb.Latency()
 	}
 	lat += m.stlb.Latency()
-	m.counters.Inc("walk", 1)
+	m.counters.Add(CounterWalk, 1)
 	if m.walker != nil {
 		for level := 0; level < m.WalkLevels; level++ {
 			lat += m.walker(now+lat, level, vaddr)
