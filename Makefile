@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench
+.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke
 
-ci: fmt vet build test race bench-smoke
+ci: fmt vet build test race sweep-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -17,9 +17,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel experiment runner must stay race-clean and deterministic.
+# The parallel experiment runners must stay race-clean and deterministic.
 race:
 	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
+	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit'
 
 # Quick regression signal on the allocation-free hot path.
 bench-smoke:
@@ -27,3 +28,22 @@ bench-smoke:
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+# Run the result-cached experiment HTTP service (POST /v1/run, GET
+# /v1/figures/{id}, GET /v1/scenarios, GET /healthz).
+serve:
+	$(GO) run ./cmd/impact-server
+
+# The sweep CLI must produce byte-identical output regardless of the
+# worker count (every run is deterministic and content-addressed).
+sweep-smoke:
+	@tmp=$$(mktemp -d); status=1; \
+	if $(GO) run ./cmd/impact-sweep -spec examples/sweep-llc.json -workers 1 -json > $$tmp/w1.json \
+	&& $(GO) run ./cmd/impact-sweep -spec examples/sweep-llc.json -workers 8 -json > $$tmp/w8.json; then \
+		if cmp $$tmp/w1.json $$tmp/w8.json; then \
+			echo "sweep-smoke: workers=1 and workers=8 byte-identical"; status=0; \
+		else \
+			echo "sweep-smoke: output depends on worker count"; \
+		fi; \
+	fi; \
+	rm -rf $$tmp; exit $$status

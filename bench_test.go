@@ -11,12 +11,16 @@
 package repro_test
 
 import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/exp"
 	"repro/internal/figures"
 	"repro/internal/memctrl"
 	"repro/internal/sim"
@@ -639,4 +643,48 @@ func BenchmarkPipelinedPnM(b *testing.B) {
 	if pipelined.ThroughputMbps <= serial.ThroughputMbps {
 		b.Fatal("pipelining did not improve throughput")
 	}
+}
+
+// BenchmarkServerRun measures the experiment service's POST /v1/run path
+// cold (every request against a fresh engine, all runs simulated) vs.
+// cached (one shared engine, every run content-addressed into the result
+// cache). The gap is the serving-layer win: identical specs are answered
+// without touching the simulator.
+func BenchmarkServerRun(b *testing.B) {
+	spec := []byte(`{
+		"scenario": "covert-pnm",
+		"grid": {"llc_bytes": [4194304, 8388608], "mem.defense": ["none", "crp"]}
+	}`)
+	post := func(b *testing.B, h http.Handler) *httptest.ResponseRecorder {
+		b.Helper()
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(spec))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("POST /v1/run = %d: %s", rec.Code, rec.Body)
+		}
+		return rec
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := exp.NewServer(exp.NewEngine(), 0).Handler()
+			post(b, h)
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		h := exp.NewServer(exp.NewEngine(), 0).Handler()
+		warm := post(b, h) // prime the cache outside the timed loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := post(b, h)
+			if !bytes.Equal(rec.Body.Bytes(), warm.Body.Bytes()) {
+				b.Fatal("cached response drifted from the primed response")
+			}
+			if rec.Header().Get("X-Cache") != "hit" {
+				b.Fatalf("X-Cache = %q, want hit", rec.Header().Get("X-Cache"))
+			}
+		}
+	})
 }

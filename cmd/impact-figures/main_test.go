@@ -1,18 +1,76 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+)
 
 func TestRunQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure harness in -short mode")
 	}
-	if err := run(nil); err != nil {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== ") {
+		t.Fatal("no rendered reports in output")
+	}
+}
+
+// TestRunOnlyJSON exercises the single-figure and JSON paths together.
+func TestRunOnlyJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "rowbuffer", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var reports []figures.Report
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not report JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || reports[0].ID != "§3.1" || len(reports[0].Rows) == 0 {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+}
+
+// TestRunOnlyText renders a single figure as a text table.
+func TestRunOnlyText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== Table 2") {
+		t.Fatalf("missing rendered table:\n%s", out.String())
+	}
+}
+
+// TestRunList prints the registry IDs.
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ids := strings.Fields(out.String())
+	if len(ids) != len(figures.IDs()) || ids[0] != "rowbuffer" {
+		t.Fatalf("listed IDs: %v", ids)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
 		t.Fatal("invalid flag accepted")
+	}
+	if err := run([]string{"-only", "fig99"}, &out); err == nil {
+		t.Fatal("unknown figure ID accepted")
+	} else if !strings.Contains(err.Error(), "known:") {
+		t.Fatalf("unknown-ID error does not list the registry: %v", err)
+	}
+	if err := run([]string{"-workers", "-1"}, &out); err == nil {
+		t.Fatal("negative worker count accepted")
 	}
 }

@@ -1,0 +1,59 @@
+// Command impact-server serves the experiment engine over HTTP: POST
+// /v1/run executes a declarative sweep spec (see internal/exp.Spec), GET
+// /v1/figures/{id} replays one paper artifact, GET /v1/scenarios lists the
+// registry, and GET /healthz reports cache hit/miss counters. Because the
+// simulator is deterministic, every report is content-addressed and served
+// from cache after its first computation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "impact-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until the listener fails. When ready is
+// non-nil the bound address is sent on it once the listener is up (tests
+// use this to connect to a :0 listener).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("impact-server", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8322", "listen address")
+	workers := fs.Int("workers", 0, "per-request simulation pool size (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("negative worker count %d", *workers)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "impact-server: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	srv := &http.Server{
+		Handler: exp.NewServer(exp.NewEngine(), *workers).Handler(),
+		// Bound how long a client may dribble headers/body so stalled
+		// connections cannot pin goroutines and file descriptors.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+	return srv.Serve(ln)
+}

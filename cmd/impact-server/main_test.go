@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd boots the real binary entry point on an ephemeral
+// port and exercises one cold/warm request pair over TCP.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network smoke test in -short mode")
+	}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run([]string{"-addr", "localhost:0", "-workers", "2"}, ready) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	get := func(path string) (int, string, http.Header) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, _ := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", code, body)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz body: %s (%v)", body, err)
+	}
+
+	code, cold, hdr := get("/v1/figures/table2")
+	if code != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("cold figure = %d, X-Cache %q", code, hdr.Get("X-Cache"))
+	}
+	code, warm, hdr := get("/v1/figures/table2")
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("warm figure = %d, X-Cache %q", code, hdr.Get("X-Cache"))
+	}
+	if cold != warm {
+		t.Fatal("cached figure differs from cold figure")
+	}
+}
+
+// TestRunBadFlags pins flag validation.
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, nil); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+	if err := run([]string{"-workers", "-3"}, nil); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Command impact-sweep runs a declarative experiment sweep from a JSON
+// spec file (see internal/exp.Spec and examples/sweep-llc.json): the grid
+// is expanded into concrete runs, sharded over a worker pool, and every
+// report is printed in expansion order. Output is a pure function of the
+// spec — the worker count and cache state cannot change a byte — and the
+// run summary (cache hits vs. simulated runs) goes to stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "impact-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("impact-sweep", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to the sweep spec JSON file (required)")
+	workers := fs.Int("workers", 0, "simulation worker pool size (0 = all cores)")
+	asJSON := fs.Bool("json", false, "emit the full sweep result as JSON instead of text tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("missing -spec <file> (see examples/sweep-llc.json)")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := exp.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	res, err := exp.NewEngine().RunSpec(spec, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "impact-sweep: %d runs, %d cache hits, %d simulated\n",
+		len(res.Runs), res.Hits, res.Misses)
+
+	if *asJSON {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if _, err := stdout.Write(append(blob, '\n')); err != nil {
+			return err
+		}
+		return nil
+	}
+	for i, r := range res.Runs {
+		fmt.Fprintf(stdout, "--- run %d/%d: %s", i+1, len(res.Runs), r.Scenario)
+		if len(r.Params) > 0 {
+			fmt.Fprintf(stdout, " [%s]", exp.FormatParams(r.Params))
+		}
+		fmt.Fprintf(stdout, " (scale %s, key %s)\n", r.Scale, r.Key[:12])
+		rep, err := exp.DecodeReport(r.Report)
+		if err != nil {
+			return err
+		}
+		rep.Render(stdout)
+	}
+	return nil
+}

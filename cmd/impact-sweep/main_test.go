@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// specPath points at the checked-in example sweep (a 3x2 grid, 6 runs).
+const specPath = "../../examples/sweep-llc.json"
+
+// TestSweepDeterministicAcrossWorkers is the acceptance-criteria test: the
+// example >=6-point grid produces byte-identical output for -workers=1 and
+// -workers=8, in both text and JSON modes.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness in -short mode")
+	}
+	for _, mode := range []struct {
+		name string
+		args []string
+	}{
+		{"text", nil},
+		{"json", []string{"-json"}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			var one, eight bytes.Buffer
+			if err := run(append([]string{"-spec", specPath, "-workers", "1"}, mode.args...), &one); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(append([]string{"-spec", specPath, "-workers", "8"}, mode.args...), &eight); err != nil {
+				t.Fatal(err)
+			}
+			if one.Len() == 0 {
+				t.Fatal("sweep produced no output")
+			}
+			if !bytes.Equal(one.Bytes(), eight.Bytes()) {
+				t.Fatalf("output depends on worker count:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", one.String(), eight.String())
+			}
+		})
+	}
+}
+
+// TestSweepJSONShape checks the example spec expands to the 6 documented
+// runs with populated reports.
+func TestSweepJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-spec", specPath, "-workers", "2", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		SpecKey string `json:"spec_key"`
+		Runs    []struct {
+			Scenario string            `json:"scenario"`
+			Params   map[string]string `json:"params"`
+			Report   json.RawMessage   `json:"report"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 6 {
+		t.Fatalf("example spec expanded to %d runs, want 6", len(res.Runs))
+	}
+	for _, r := range res.Runs {
+		if r.Scenario != "covert-pnm" || len(r.Report) == 0 || len(r.Params) != 2 {
+			t.Fatalf("malformed run: %+v", r)
+		}
+	}
+}
+
+// TestSweepFlagErrors pins CLI validation.
+func TestSweepFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -spec accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("invalid flag accepted")
+	}
+	if err := run([]string{"-spec", "no-such-file.json"}, &out); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"scenario": }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}, &out); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+}

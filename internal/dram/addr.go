@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/jsonenum"
+)
 
 // Coord locates one DRAM word within the device hierarchy.
 type Coord struct {
@@ -46,6 +50,33 @@ func (s MappingScheme) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// mappingNames maps the JSON/String form back to the enum.
+var mappingNames = map[string]MappingScheme{
+	"row-interleaved": MapRowInterleaved,
+	"bank-xor":        MapBankXOR,
+}
+
+// MarshalJSON encodes the scheme as its String form, so JSON configs read
+// "bank-xor" rather than a bare enum ordinal.
+func (s MappingScheme) MarshalJSON() ([]byte, error) {
+	blob, err := jsonenum.Marshal(s, "mapping", mappingNames)
+	if err != nil {
+		return nil, fmt.Errorf("dram: %w", err)
+	}
+	return blob, nil
+}
+
+// UnmarshalJSON decodes either the String form ("row-interleaved",
+// "bank-xor") or the integer ordinal.
+func (s *MappingScheme) UnmarshalJSON(data []byte) error {
+	v, err := jsonenum.Unmarshal(data, "mapping", mappingNames)
+	if err != nil {
+		return fmt.Errorf("dram: %w", err)
+	}
+	*s = v
+	return nil
 }
 
 // AddrMapper translates physical addresses to device coordinates and back.

@@ -9,18 +9,18 @@ import (
 // Config describes the device geometry (the paper's Table 2 defaults are in
 // DefaultConfig).
 type Config struct {
-	Channels      int
-	Ranks         int
-	BankGroups    int
-	BanksPerGroup int
+	Channels      int `json:"channels"`
+	Ranks         int `json:"ranks"`
+	BankGroups    int `json:"bank_groups"`
+	BanksPerGroup int `json:"banks_per_group"`
 	// RowBytes is the size of one DRAM row (8192 bytes in Table 2).
-	RowBytes int
+	RowBytes int `json:"row_bytes"`
 	// RowsPerBank bounds the row index space of each bank.
-	RowsPerBank int64
-	Timing      Timing
+	RowsPerBank int64  `json:"rows_per_bank"`
+	Timing      Timing `json:"timing"`
 	// Maintenance configures refresh and RowHammer-mitigation stalls
 	// (zero value: disabled, matching the Table 2 calibration).
-	Maintenance Maintenance
+	Maintenance Maintenance `json:"maintenance"`
 }
 
 // DefaultConfig returns the paper's Table 2 main-memory configuration:

@@ -17,14 +17,14 @@ package dram
 // unaffected; ablation benches and the Section 8.4 experiment enable them.
 type Maintenance struct {
 	// RefreshInterval is tREFI in cycles (0 disables refresh).
-	RefreshInterval int64
+	RefreshInterval int64 `json:"refresh_interval"`
 	// RefreshDuration is tRFC in cycles.
-	RefreshDuration int64
+	RefreshDuration int64 `json:"refresh_duration"`
 	// MitigationThreshold is the activation count (RAA) that triggers a
 	// preventive refresh-management action (0 disables).
-	MitigationThreshold int
+	MitigationThreshold int `json:"mitigation_threshold"`
 	// MitigationPenalty is the stall per preventive action in cycles.
-	MitigationPenalty int64
+	MitigationPenalty int64 `json:"mitigation_penalty"`
 }
 
 // DDR4Refresh returns standard DDR4 refresh timing at 2.6 GHz: tREFI =

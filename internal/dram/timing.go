@@ -11,16 +11,16 @@ package dram
 // that is ~35 CPU cycles each.
 type Timing struct {
 	// TRCD is the activate-to-read/write delay (row open cost).
-	TRCD int64
+	TRCD int64 `json:"trcd"`
 	// TRP is the precharge latency (row close cost).
-	TRP int64
+	TRP int64 `json:"trp"`
 	// TCAS is the column access latency once a row is open.
-	TCAS int64
+	TCAS int64 `json:"tcas"`
 	// TRAS is the minimum time a row must stay open after activation
 	// before it may be precharged.
-	TRAS int64
+	TRAS int64 `json:"tras"`
 	// TBurst is the data burst transfer time for one access.
-	TBurst int64
+	TBurst int64 `json:"tburst"`
 	// RowTimeout is the open-row policy timeout: a row left untouched
 	// this long is closed by the controller; 0 disables the timeout
 	// (pure open-row policy). Table 2 lists 100 ns, but any timeout
@@ -30,11 +30,11 @@ type Timing struct {
 	// observe — so the default disables it, and timeout values are
 	// exercised as an ablation that measurably degrades and then kills
 	// the channel (BenchmarkAblationRowPolicy).
-	RowTimeout int64
+	RowTimeout int64 `json:"row_timeout"`
 	// RowCloneFPM is the latency of one RowClone Fast-Parallel-Mode
 	// operation (two back-to-back activations) when the source row is
 	// already the open row.
-	RowCloneFPM int64
+	RowCloneFPM int64 `json:"rowclone_fpm"`
 }
 
 // DDR4_2400 returns the paper's Table 2 timing converted to cycles of a

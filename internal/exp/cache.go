@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Fixed counter IDs for cache statistics, in the slot order passed to
+// stats.NewFixed in NewCache.
+const (
+	CounterHits stats.CounterID = iota
+	CounterMisses
+	CounterStores
+	CounterEvictions
+)
+
+// maxEntries bounds the cache so a long-running server cannot be grown
+// without limit by high-cardinality sweeps; eviction is FIFO (oldest
+// insertion first). Evicting never changes any response byte — a re-miss
+// just re-simulates — so the bound only trades memory for hit rate.
+const maxEntries = 16384
+
+// Cache is a content-addressed result store: keys are the hex SHA-256 of a
+// run's canonical JSON document (see Run.Key), values are the marshaled
+// report bytes. Since the simulator is deterministic, a key maps to exactly
+// one possible value, so entries never need invalidation. Safe for
+// concurrent use; hit/miss/store traffic lands in fixed stats.Counters
+// slots that the HTTP service exports.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[string]json.RawMessage
+	order    []string // insertion order, for FIFO eviction
+	counters *stats.Counters
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries:  make(map[string]json.RawMessage),
+		counters: stats.NewFixed("hits", "misses", "stores", "evictions"),
+	}
+}
+
+// Get returns the cached report bytes for a key, recording a hit or miss.
+// Callers must treat the returned bytes as immutable.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, ok := c.entries[key]
+	if ok {
+		c.counters.Add(CounterHits, 1)
+	} else {
+		c.counters.Add(CounterMisses, 1)
+	}
+	return blob, ok
+}
+
+// Put stores report bytes under a key. First store wins: with a
+// deterministic simulator any concurrent second computation produced the
+// same bytes, so keeping the existing entry preserves pointer stability.
+func (c *Cache) Put(key string, blob json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for len(c.entries) >= maxEntries {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+		c.counters.Add(CounterEvictions, 1)
+	}
+	c.entries[key] = blob
+	c.order = append(c.order, key)
+	c.counters.Add(CounterStores, 1)
+}
+
+// Len returns the number of cached reports.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Hits and Misses return the lifetime lookup counters.
+func (c *Cache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters.Value(CounterHits)
+}
+
+// Misses returns the lifetime miss counter.
+func (c *Cache) Misses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters.Value(CounterMisses)
+}

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/figures"
+)
+
+// RunResult is one concrete run's outcome. Cached is deliberately excluded
+// from the JSON form: two identical sweeps must serialize byte-identically
+// whether they were simulated or served from cache.
+type RunResult struct {
+	Key      string            `json:"key"`
+	Scenario string            `json:"scenario"`
+	Scale    string            `json:"scale"`
+	Params   map[string]string `json:"params,omitempty"`
+	Report   json.RawMessage   `json:"report"`
+	Cached   bool              `json:"-"`
+}
+
+// SweepResult is the outcome of one expanded spec. Runs appear in
+// expansion order. Hits and Misses count this invocation's unique-key
+// cache lookups (excluded from JSON for the same reason as Cached).
+type SweepResult struct {
+	SpecKey string      `json:"spec_key"`
+	Runs    []RunResult `json:"runs"`
+	Hits    int         `json:"-"`
+	Misses  int         `json:"-"`
+}
+
+// Engine expands specs and schedules their runs over a bounded worker
+// pool, memoizing every report in a shared content-addressed cache. Safe
+// for concurrent use (the HTTP service calls RunSpec from handler
+// goroutines).
+type Engine struct {
+	cache *Cache
+}
+
+// NewEngine returns an engine with an empty cache.
+func NewEngine() *Engine {
+	return &Engine{cache: NewCache()}
+}
+
+// Cache exposes the engine's result cache (for metrics endpoints).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// RunSpec expands the spec and produces every report, serving repeated
+// runs from cache. workers == 0 selects runtime.NumCPU(), negative counts
+// are rejected, and the pool is clamped to the number of cache misses.
+// The result is a pure function of the spec: run order is expansion order
+// and every report is deterministic, so neither the worker count nor the
+// cache state can change a single output byte.
+func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("exp: negative worker count %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	// Lookup phase: one cache probe per unique key, so overlapping grid
+	// points inside one sweep are simulated at most once.
+	reports := make(map[string]json.RawMessage, len(runs))
+	cached := make(map[string]bool, len(runs))
+	var misses []Run
+	out := &SweepResult{}
+	for _, r := range runs {
+		if _, seen := cached[r.Key]; seen {
+			continue
+		}
+		if blob, ok := e.cache.Get(r.Key); ok {
+			reports[r.Key] = blob
+			cached[r.Key] = true
+			out.Hits++
+		} else {
+			cached[r.Key] = false
+			misses = append(misses, r)
+			out.Misses++
+		}
+	}
+
+	// Execute phase: shard the misses over the pool; results land at
+	// fixed indices, so scheduling order cannot reorder anything.
+	if len(misses) > 0 {
+		if workers > len(misses) {
+			workers = len(misses)
+		}
+		blobs := make([]json.RawMessage, len(misses))
+		errs := make([]error, len(misses))
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					blobs[i], errs[i] = executeRun(misses[i])
+				}
+			}()
+		}
+		for i := range misses {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		// Cache every run that did complete before reporting any failure,
+		// so a corrected retry (or an overlapping sweep) never re-simulates
+		// the points that already succeeded.
+		for i, r := range misses {
+			if errs[i] == nil {
+				e.cache.Put(r.Key, blobs[i])
+				reports[r.Key] = blobs[i]
+			}
+		}
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("exp: scenario %s (%s): %w",
+					misses[i].Scenario, FormatParams(misses[i].Params), err)
+			}
+		}
+	}
+
+	out.Runs = make([]RunResult, len(runs))
+	specSum := sha256.New()
+	for i, r := range runs {
+		out.Runs[i] = RunResult{
+			Key:      r.Key,
+			Scenario: r.Scenario,
+			Scale:    r.Scale.String(),
+			Params:   r.Params,
+			Report:   reports[r.Key],
+			Cached:   cached[r.Key],
+		}
+		specSum.Write([]byte(r.Key))
+	}
+	out.SpecKey = hex.EncodeToString(specSum.Sum(nil))
+	return out, nil
+}
+
+// executeRun simulates one concrete run and marshals its report.
+func executeRun(r Run) (json.RawMessage, error) {
+	rep, err := r.scn.run(r.Config, r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(rep)
+}
+
+// DecodeReport unmarshals cached report bytes back into a figures.Report
+// (for text rendering in cmd/impact-sweep).
+func DecodeReport(blob json.RawMessage) (figures.Report, error) {
+	var rep figures.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return figures.Report{}, fmt.Errorf("exp: corrupt cached report: %v", err)
+	}
+	return rep, nil
+}

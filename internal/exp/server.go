@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxSpecBytes bounds POST /v1/run request bodies.
+const maxSpecBytes = 1 << 20
+
+// Server serves experiment reports over HTTP from a shared Engine. Because
+// every report is deterministic and content-addressed, responses for one
+// spec are byte-identical across requests; the X-Cache headers are the
+// only request-dependent surface.
+//
+//	POST /v1/run           run a Spec document, returns the SweepResult
+//	GET  /v1/figures/{id}  run one registry scenario, returns its Report
+//	GET  /v1/scenarios     list runnable scenarios
+//	GET  /healthz          liveness + cache hit/miss counters
+type Server struct {
+	engine  *Engine
+	workers int
+}
+
+// NewServer wraps an engine; workers bounds each request's simulation
+// pool (0 = all cores).
+func NewServer(engine *Engine, workers int) *Server {
+	return &Server{engine: engine, workers: workers}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	return mux
+}
+
+// handleRun expands and runs a spec document.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec larger than %d bytes", maxSpecBytes))
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.RunSpec(spec, s.workers)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	setCacheHeaders(w, res.Hits, res.Misses)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleFigure serves one scenario by registry ID (an optional ?scale=
+// query selects quick or full).
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	spec := Spec{Scenario: r.PathValue("id"), Scale: r.URL.Query().Get("scale")}
+	res, err := s.engine.RunSpec(spec, s.workers)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	setCacheHeaders(w, res.Hits, res.Misses)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(res.Runs[0].Report)
+}
+
+// handleScenarios lists the registry.
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": ScenarioList()})
+}
+
+// handleHealth reports liveness and the engine's cache counters (the
+// stats.Counters slots underneath CounterHits/CounterMisses/CounterStores).
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	c := s.engine.Cache()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"cache": map[string]int64{
+			"entries": int64(c.Len()),
+			"hits":    c.Hits(),
+			"misses":  c.Misses(),
+		},
+	})
+}
+
+// setCacheHeaders records how this request's unique runs were served:
+// "hit" (all from cache), "miss" (none), or "partial" (an overlapping
+// sweep). The counts ride along for sweep-level observability.
+func setCacheHeaders(w http.ResponseWriter, hits, misses int) {
+	state := "miss"
+	switch {
+	case misses == 0 && hits > 0:
+		state = "hit"
+	case misses > 0 && hits > 0:
+		state = "partial"
+	}
+	w.Header().Set("X-Cache", state)
+	w.Header().Set("X-Cache-Hits", fmt.Sprint(hits))
+	w.Header().Set("X-Cache-Misses", fmt.Sprint(misses))
+}
+
+// statusFor maps engine errors to HTTP statuses: unknown scenarios are
+// 404s (the resource does not exist), everything else a client spec error.
+func statusFor(err error) int {
+	if errors.Is(err, ErrUnknownScenario) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// writeJSON marshals v once and writes it; marshaling before WriteHeader
+// keeps error handling honest and the body deterministic.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(blob)
+	w.Write([]byte("\n"))
+}
+
+// writeError emits a JSON error document.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	blob, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Write(blob)
+	w.Write([]byte("\n"))
+}

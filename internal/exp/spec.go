@@ -1,0 +1,293 @@
+// Package exp is the experiment engine: it turns declarative JSON specs —
+// a scenario name, sim.Config overrides, and a parameter grid — into
+// concrete simulator runs, schedules them over a bounded worker pool, and
+// memoizes every result in a content-addressed cache. Because the whole
+// simulator is deterministic (per-core logical clocks, seeded noise, no
+// wall-clock reads), a concrete run's canonical JSON identity maps to
+// exactly one report, so repeated and overlapping sweeps are served from
+// cache instead of re-simulated. cmd/impact-server exposes the engine over
+// HTTP; cmd/impact-sweep drives it from spec files.
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/figures"
+	"repro/internal/sim"
+)
+
+// MaxRuns bounds how many concrete runs one spec may expand into, so a
+// malformed or hostile grid cannot wedge the server.
+const MaxRuns = 4096
+
+// ErrUnknownScenario tags expansion failures caused by a scenario name
+// that is not in the registry (servers map it to 404 rather than 400).
+var ErrUnknownScenario = errors.New("exp: unknown scenario")
+
+// Spec is the declarative form of an experiment sweep.
+//
+// Config is a sparse sim.Config document (snake_case JSON tags; see
+// sim.FromJSON) deep-merged over the Table 2 defaults. Grid maps
+// dot-separated config field paths — e.g. "llc_bytes" or "mem.defense" —
+// to the list of values to sweep; the engine expands the Cartesian
+// product of all grid fields into concrete runs.
+type Spec struct {
+	Scenario string                       `json:"scenario"`
+	Scale    string                       `json:"scale,omitempty"`
+	Config   json.RawMessage              `json:"config,omitempty"`
+	Grid     map[string][]json.RawMessage `json:"grid,omitempty"`
+}
+
+// ParseSpec decodes a spec document, rejecting unknown fields so typos
+// ("grids", "senario") fail loudly instead of silently running defaults.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("exp: spec: %v", err)
+	}
+	return s, nil
+}
+
+// Run is one concrete, fully resolved experiment: a scenario, a scale,
+// and an exact sim.Config. Key is the hex SHA-256 of the run's canonical
+// JSON document and is the content address of its report.
+type Run struct {
+	Scenario string
+	Scale    figures.Scale
+	Config   sim.Config
+	// Params records this run's grid-point assignments (path -> canonical
+	// JSON value) for labeling sweep output.
+	Params map[string]string
+	Key    string
+
+	scn scenario
+}
+
+// Expand resolves the spec into concrete runs: grid fields are sorted
+// lexicographically and the Cartesian product is walked row-major (last
+// field fastest), so expansion order — and therefore sweep output — is a
+// pure function of the spec.
+func (s Spec) Expand() ([]Run, error) {
+	scn, ok := scenarioByName(s.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (known: %s)", ErrUnknownScenario, s.Scenario, strings.Join(ScenarioNames(), ", "))
+	}
+	scale, err := figures.ParseScale(s.Scale)
+	if err != nil {
+		return nil, err
+	}
+	// Figure-replay scenarios build their own fixed machines; accepting
+	// overrides or grids for them would produce runs labeled with
+	// parameters that were never applied.
+	if !scn.ConfigSensitive && (len(s.Config) > 0 || len(s.Grid) > 0) {
+		return nil, fmt.Errorf("exp: scenario %q replays a fixed paper artifact and ignores sim.Config; drop the config/grid fields", s.Scenario)
+	}
+
+	base, err := defaultConfigDoc()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Config) > 0 {
+		patch, err := decodeDoc(s.Config)
+		if err != nil {
+			return nil, fmt.Errorf(`exp: spec field "config": %v`, err)
+		}
+		deepMerge(base, patch)
+	}
+
+	paths := make([]string, 0, len(s.Grid))
+	total := 1
+	for path, vals := range s.Grid {
+		if len(vals) == 0 {
+			return nil, fmt.Errorf(`exp: grid field %q has no values`, path)
+		}
+		if total > MaxRuns/len(vals) {
+			return nil, fmt.Errorf("exp: grid expands to more than %d runs", MaxRuns)
+		}
+		total *= len(vals)
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	runs := make([]Run, 0, total)
+	for idx := 0; idx < total; idx++ {
+		cfgDoc := deepCopy(base)
+		params := make(map[string]string, len(paths))
+		stride := total
+		for _, path := range paths {
+			vals := s.Grid[path]
+			stride /= len(vals)
+			raw := vals[(idx/stride)%len(vals)]
+			val, err := decodeValue(raw)
+			if err != nil {
+				return nil, fmt.Errorf("exp: grid field %q: %v", path, err)
+			}
+			if err := setPath(cfgDoc, path, val); err != nil {
+				return nil, err
+			}
+			canon, err := json.Marshal(val)
+			if err != nil {
+				return nil, fmt.Errorf("exp: grid field %q: %v", path, err)
+			}
+			params[path] = string(canon)
+		}
+		run, err := newRun(scn, scale, cfgDoc, params)
+		if err != nil {
+			if len(params) == 0 {
+				return nil, fmt.Errorf("exp: %w", err)
+			}
+			return nil, fmt.Errorf("exp: grid point %s: %w", FormatParams(params), err)
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// newRun validates one concrete config document and computes the run's
+// content address.
+func newRun(scn scenario, scale figures.Scale, cfgDoc map[string]any, params map[string]string) (Run, error) {
+	cfgJSON, err := json.Marshal(cfgDoc)
+	if err != nil {
+		return Run{}, err
+	}
+	cfg, err := sim.FromJSON(cfgJSON)
+	if err != nil {
+		return Run{}, err
+	}
+	// The canonical document re-encodes the *decoded* config, so
+	// equivalent spellings of one value ("1e3" vs "1000", string vs
+	// ordinal enums) collapse to the same content address.
+	canonCfg, err := cfg.ToJSON()
+	if err != nil {
+		return Run{}, err
+	}
+	canonical, err := json.Marshal(map[string]any{
+		"scenario": scn.Name,
+		"scale":    scale.String(),
+		"config":   json.RawMessage(canonCfg),
+	})
+	if err != nil {
+		return Run{}, err
+	}
+	sum := sha256.Sum256(canonical)
+	return Run{
+		Scenario: scn.Name,
+		Scale:    scale,
+		Config:   cfg,
+		Params:   params,
+		Key:      hex.EncodeToString(sum[:]),
+		scn:      scn,
+	}, nil
+}
+
+// FormatParams renders a grid point as "a=1 b=2" in sorted path order
+// (the shared label form for engine errors and sweep output).
+func FormatParams(params map[string]string) string {
+	if len(params) == 0 {
+		return "(no grid)"
+	}
+	paths := make([]string, 0, len(params))
+	for p := range params {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	parts := make([]string, len(paths))
+	for i, p := range paths {
+		parts[i] = p + "=" + params[p]
+	}
+	return strings.Join(parts, " ")
+}
+
+// defaultConfigDoc returns sim.DefaultConfig as a canonical document.
+func defaultConfigDoc() (map[string]any, error) {
+	data, err := sim.DefaultConfig().ToJSON()
+	if err != nil {
+		return nil, err
+	}
+	return decodeDoc(data)
+}
+
+// decodeDoc decodes a JSON object, preserving numbers as json.Number so
+// re-encoding does not round integers through float64.
+func decodeDoc(data []byte) (map[string]any, error) {
+	v, err := decodeValue(data)
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("want a JSON object, got %s", data)
+	}
+	return doc, nil
+}
+
+// decodeValue decodes any JSON value with number literals preserved.
+func decodeValue(data []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// deepMerge overlays src onto dst: nested objects merge recursively,
+// everything else (including arrays) replaces wholesale.
+func deepMerge(dst, src map[string]any) {
+	for k, sv := range src {
+		if sm, ok := sv.(map[string]any); ok {
+			if dm, ok := dst[k].(map[string]any); ok {
+				deepMerge(dm, sm)
+				continue
+			}
+		}
+		dst[k] = sv
+	}
+}
+
+// deepCopy clones a document so grid points never alias each other.
+func deepCopy(doc map[string]any) map[string]any {
+	out := make(map[string]any, len(doc))
+	for k, v := range doc {
+		if m, ok := v.(map[string]any); ok {
+			out[k] = deepCopy(m)
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// setPath assigns a value at a dot-separated field path, creating missing
+// intermediate objects (sim.FromJSON then rejects paths that do not name
+// real config fields).
+func setPath(doc map[string]any, path string, val any) error {
+	segs := strings.Split(path, ".")
+	cur := doc
+	for _, seg := range segs[:len(segs)-1] {
+		next, ok := cur[seg]
+		if !ok {
+			child := map[string]any{}
+			cur[seg] = child
+			cur = child
+			continue
+		}
+		child, ok := next.(map[string]any)
+		if !ok {
+			return fmt.Errorf("exp: grid field %q: %q is not a config section", path, seg)
+		}
+		cur = child
+	}
+	cur[segs[len(segs)-1]] = val
+	return nil
+}

@@ -99,7 +99,7 @@ func Table2(Scale) (Report, error) {
 // plus the eviction latency curve.
 func Fig2(scale Scale) (Report, error) {
 	rep := Report{ID: "Figure 2", Title: "Impact of LLC size on covert-channel throughput and eviction latency"}
-	msg := core.RandomMessage(scale.bits(), 2)
+	msg := core.RandomMessage(scale.Bits(), 2)
 	sizes := []int{4, 8, 16, 32, 64, 128}
 	if scale == ScaleQuick {
 		sizes = []int{4, 16, 128}
@@ -136,7 +136,7 @@ func Fig2(scale Scale) (Report, error) {
 // Fig3 reproduces the LLC-associativity sweep of Section 3.3.
 func Fig3(scale Scale) (Report, error) {
 	rep := Report{ID: "Figure 3", Title: "Impact of LLC associativity on covert-channel throughput and eviction latency"}
-	msg := core.RandomMessage(scale.bits(), 3)
+	msg := core.RandomMessage(scale.Bits(), 3)
 	ways := []int{2, 4, 8, 16, 32, 64, 128}
 	if scale == ScaleQuick {
 		ways = []int{2, 16, 128}
@@ -229,7 +229,7 @@ func Fig8(Scale) (Report, error) {
 // Fig9 reproduces the headline throughput comparison across LLC sizes.
 func Fig9(scale Scale) (Report, error) {
 	rep := Report{ID: "Figure 9", Title: "Covert-channel leakage throughput vs. LLC size"}
-	msg := core.RandomMessage(scale.bits(), 4)
+	msg := core.RandomMessage(scale.Bits(), 4)
 	type variant struct {
 		name  string
 		paper string
@@ -267,7 +267,7 @@ func Fig9(scale Scale) (Report, error) {
 // Fig10 reproduces the sender/receiver cycle breakdown of the two IMPACT
 // channels.
 func Fig10(scale Scale) (Report, error) {
-	bits := scale.bits()
+	bits := scale.Bits()
 	msg := core.RandomMessage(bits, 5)
 	m, err := newMachine(8<<20, 16)
 	if err != nil {

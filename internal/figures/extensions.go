@@ -14,7 +14,7 @@ import (
 // parallelism) and RowHammer mitigations (RFM/PRAC) whose preventive-action
 // stalls are visible to, and tolerable by, the receiver.
 func Section84(scale Scale) (Report, error) {
-	bits := scale.bits()
+	bits := scale.Bits()
 	rep := Report{ID: "§8.4", Title: "Future DRAM devices: bank scaling and RowHammer mitigations"}
 
 	// Bank scaling: PuM throughput with 16 vs. 64 banks per batch.
@@ -91,7 +91,7 @@ func Section84(scale Scale) (Report, error) {
 // AdaptiveAttacker reproduces the Section 7.4 observation that an attacker
 // can transmit only while ACT serves default latency.
 func AdaptiveAttacker(scale Scale) (Report, error) {
-	bits := scale.bits()
+	bits := scale.Bits()
 	run := func(act memctrl.ACTConfig, adaptive bool) (core.Result, error) {
 		mem := memctrl.DefaultConfig()
 		mem.Defense = memctrl.DefenseAdaptive
@@ -144,7 +144,7 @@ func ReliableFraming(scale Scale) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	data := core.RandomMessage(scale.bits(), 24)
+	data := core.RandomMessage(scale.Bits(), 24)
 	res, err := core.RunReliable(m, data, core.Options{}, core.RunPnM)
 	if err != nil {
 		return Report{}, err

@@ -14,17 +14,19 @@ import (
 
 // Row is one paper-vs-measured comparison line.
 type Row struct {
-	Label    string
-	Paper    string
-	Measured string
+	Label    string `json:"label"`
+	Paper    string `json:"paper"`
+	Measured string `json:"measured"`
 }
 
-// Report is one regenerated table or figure.
+// Report is one regenerated table or figure. The JSON form is served by
+// cmd/impact-server and emitted by the -json CLI modes; encoding/json
+// preserves field declaration order, so marshaling is deterministic.
 type Report struct {
-	ID    string
-	Title string
-	Rows  []Row
-	Notes []string
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Rows  []Row    `json:"rows"`
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Render writes the report as an aligned text table.
@@ -59,12 +61,33 @@ const (
 	ScaleFull
 )
 
-// bits returns the covert-channel message length for the scale.
-func (s Scale) bits() int {
+// Bits returns the covert-channel message length for the scale.
+func (s Scale) Bits() int {
 	if s == ScaleFull {
 		return 4096
 	}
 	return 512
+}
+
+// String implements fmt.Stringer; the forms round-trip through ParseScale.
+func (s Scale) String() string {
+	if s == ScaleFull {
+		return "full"
+	}
+	return "quick"
+}
+
+// ParseScale maps the CLI/JSON scale names to a Scale. The empty string
+// selects ScaleQuick so spec files may omit the field.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "", "quick":
+		return ScaleQuick, nil
+	case "full":
+		return ScaleFull, nil
+	default:
+		return 0, fmt.Errorf(`figures: unknown scale %q (want "quick" or "full")`, name)
+	}
 }
 
 // generator names one artifact generator.
@@ -95,6 +118,32 @@ func generators() []generator {
 	}
 }
 
+// IDs returns every artifact generator ID in paper order. The IDs are the
+// public registry keys: Run accepts them, cmd/impact-figures -only filters
+// by them, and the experiment engine exposes each as a scenario.
+func IDs() []string {
+	gens := generators()
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.name
+	}
+	return out
+}
+
+// Run regenerates the single artifact with the given registry ID.
+func Run(id string, scale Scale) (Report, error) {
+	for _, g := range generators() {
+		if g.name == id {
+			rep, err := g.fn(scale)
+			if err != nil {
+				return Report{}, fmt.Errorf("%s: %w", g.name, err)
+			}
+			return rep, nil
+		}
+	}
+	return Report{}, fmt.Errorf("figures: unknown figure ID %q (known: %s)", id, strings.Join(IDs(), ", "))
+}
+
 // All regenerates every artifact sequentially in paper order.
 func All(scale Scale) ([]Report, error) {
 	gens := generators()
@@ -112,13 +161,17 @@ func All(scale Scale) ([]Report, error) {
 // RunParallel regenerates every artifact using a pool of workers, each
 // trial on its own sim.Machine. The returned reports are identical to
 // All's — same paper order, same values (every generator is seeded) — only
-// the wall-clock time changes. workers <= 0 selects runtime.NumCPU(), and
-// workers == 1 degenerates to the sequential path. When several
-// generators fail, the error of the earliest one in paper order is
-// returned, again matching All.
+// the wall-clock time changes. workers == 0 selects runtime.NumCPU(),
+// negative worker counts are rejected, pools larger than the generator
+// count are clamped to it, and workers == 1 degenerates to the sequential
+// path. When several generators fail, the error of the earliest one in
+// paper order is returned, again matching All.
 func RunParallel(scale Scale, workers int) ([]Report, error) {
 	gens := generators()
-	if workers <= 0 {
+	if workers < 0 {
+		return nil, fmt.Errorf("figures: negative worker count %d", workers)
+	}
+	if workers == 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers > len(gens) {

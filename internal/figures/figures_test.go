@@ -115,3 +115,70 @@ func TestAllQuickScale(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryIDs pins the exported registry: paper order, stable names.
+func TestRegistryIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 14 {
+		t.Fatalf("IDs() = %d entries, want 14", len(ids))
+	}
+	if ids[0] != "rowbuffer" || ids[1] != "table1" || ids[len(ids)-1] != "framing" {
+		t.Fatalf("unexpected registry order: %v", ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate registry ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestRunByID checks single-artifact dispatch and the unknown-ID error.
+func TestRunByID(t *testing.T) {
+	rep, err := Run("table2", ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "Table 2" {
+		t.Fatalf("Run(table2) returned report %q", rep.ID)
+	}
+	if _, err := Run("fig99", ScaleQuick); err == nil {
+		t.Fatal("unknown ID accepted")
+	} else if !strings.Contains(err.Error(), "rowbuffer") {
+		t.Fatalf("unknown-ID error does not list known IDs: %v", err)
+	}
+}
+
+// TestParseScale pins the CLI/JSON scale names.
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]Scale{"": ScaleQuick, "quick": ScaleQuick, "full": ScaleFull} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("ParseScale accepted an unknown scale")
+	}
+}
+
+// TestRunParallelWorkerValidation pins the worker-count contract: negative
+// counts are rejected, oversized pools are clamped rather than spawning
+// idle goroutines.
+func TestRunParallelWorkerValidation(t *testing.T) {
+	if _, err := RunParallel(ScaleQuick, -1); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	// More workers than generators must behave identically to a full pool.
+	reports, err := RunParallel(ScaleQuick, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(IDs()) {
+		t.Fatalf("clamped pool produced %d reports, want %d", len(reports), len(IDs()))
+	}
+}

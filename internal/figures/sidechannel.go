@@ -103,7 +103,7 @@ func Fig12(scale Scale) (Report, error) {
 // much each defense cuts IMPACT-PnM's effective (capacity-adjusted)
 // throughput.
 func ACTReduction(scale Scale) (Report, error) {
-	msg := core.RandomMessage(scale.bits(), 99)
+	msg := core.RandomMessage(scale.Bits(), 99)
 	run := func(mem memctrl.Config) (core.Result, error) {
 		cfg := sim.DefaultConfig()
 		cfg.Mem = mem

@@ -1,0 +1,55 @@
+// Package jsonenum gives integer enums a string JSON form: values encode
+// as their registered names and decode from either a name or the integer
+// ordinal, with errors that name the JSON field. dram.MappingScheme and
+// memctrl.Defense wrap these helpers in their MarshalJSON/UnmarshalJSON
+// methods so every enum shares one decode contract.
+package jsonenum
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Marshal encodes v as its registered name.
+func Marshal[E comparable](v E, field string, names map[string]E) ([]byte, error) {
+	for name, e := range names {
+		if e == v {
+			return json.Marshal(name)
+		}
+	}
+	return nil, fmt.Errorf("field %q: cannot encode unknown value %v", field, v)
+}
+
+// Unmarshal decodes a registered name or an integer ordinal.
+func Unmarshal[E ~int](data []byte, field string, names map[string]E) (E, error) {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		if v, ok := names[name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("field %q: unknown value %q (want one of %s)", field, name, nameList(names))
+	}
+	var ord int
+	if err := json.Unmarshal(data, &ord); err != nil {
+		return 0, fmt.Errorf("field %q: want one of %s or an ordinal, got %s", field, nameList(names), data)
+	}
+	v := E(ord)
+	for _, e := range names {
+		if e == v {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("field %q: unknown ordinal %d", field, ord)
+}
+
+// nameList renders the registered names sorted, quoted, comma-separated.
+func nameList[E comparable](names map[string]E) string {
+	out := make([]string, 0, len(names))
+	for name := range names {
+		out = append(out, fmt.Sprintf("%q", name))
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}

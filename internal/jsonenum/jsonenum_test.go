@@ -1,0 +1,45 @@
+package jsonenum
+
+import (
+	"strings"
+	"testing"
+)
+
+type color int
+
+const (
+	red color = iota + 1
+	blue
+)
+
+var colorNames = map[string]color{"red": red, "blue": blue}
+
+func TestMarshal(t *testing.T) {
+	blob, err := Marshal(blue, "color", colorNames)
+	if err != nil || string(blob) != `"blue"` {
+		t.Fatalf("Marshal = %s, %v", blob, err)
+	}
+	if _, err := Marshal(color(99), "color", colorNames); err == nil || !strings.Contains(err.Error(), `"color"`) {
+		t.Fatalf("unknown value error = %v", err)
+	}
+}
+
+func TestUnmarshal(t *testing.T) {
+	for in, want := range map[string]color{`"red"`: red, `"blue"`: blue, `1`: red, `2`: blue} {
+		got, err := Unmarshal([]byte(in), "color", colorNames)
+		if err != nil || got != want {
+			t.Fatalf("Unmarshal(%s) = %v, %v", in, got, err)
+		}
+	}
+	for _, in := range []string{`"green"`, `99`, `true`} {
+		_, err := Unmarshal([]byte(in), "color", colorNames)
+		if err == nil || !strings.Contains(err.Error(), `"color"`) {
+			t.Fatalf("Unmarshal(%s) error = %v, want a field-naming error", in, err)
+		}
+	}
+	// Unknown-name errors enumerate the valid names deterministically.
+	_, err := Unmarshal([]byte(`"green"`), "color", colorNames)
+	if !strings.Contains(err.Error(), `"blue", "red"`) {
+		t.Fatalf("error does not list names sorted: %v", err)
+	}
+}

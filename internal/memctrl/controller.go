@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/jsonenum"
 	"repro/internal/stats"
 )
 
@@ -54,17 +55,51 @@ func (d Defense) String() string {
 	}
 }
 
+// defenseNames maps the JSON/String form back to the enum.
+var defenseNames = map[string]Defense{
+	"none": DefenseNone,
+	"mpr":  DefensePartition,
+	"crp":  DefenseClosedRow,
+	"ctd":  DefenseConstantTime,
+	"act":  DefenseAdaptive,
+}
+
+// Valid reports whether d names one of the five defined defenses.
+func (d Defense) Valid() bool {
+	return d >= DefenseNone && d <= DefenseAdaptive
+}
+
+// MarshalJSON encodes the defense as its String form ("none", "mpr", "crp",
+// "ctd", "act").
+func (d Defense) MarshalJSON() ([]byte, error) {
+	blob, err := jsonenum.Marshal(d, "defense", defenseNames)
+	if err != nil {
+		return nil, fmt.Errorf("memctrl: %w", err)
+	}
+	return blob, nil
+}
+
+// UnmarshalJSON decodes either the String form or the integer ordinal.
+func (d *Defense) UnmarshalJSON(data []byte) error {
+	v, err := jsonenum.Unmarshal(data, "defense", defenseNames)
+	if err != nil {
+		return fmt.Errorf("memctrl: %w", err)
+	}
+	*d = v
+	return nil
+}
+
 // ACTConfig parameterizes the adaptive constant-time defense. The paper
 // evaluates three variants over 1000 ns epochs (2600 cycles at 2.6 GHz).
 type ACTConfig struct {
 	// EpochCycles is the epoch length in CPU cycles.
-	EpochCycles int64
+	EpochCycles int64 `json:"epoch_cycles"`
 	// ConflictThreshold is the number of row-buffer conflicts within one
 	// epoch that arms the constant-time policy for the next epochs.
-	ConflictThreshold int
+	ConflictThreshold int `json:"conflict_threshold"`
 	// PenaltyEpochs is how many epochs the bank stays constant-time after
 	// the threshold is crossed.
-	PenaltyEpochs int64
+	PenaltyEpochs int64 `json:"penalty_epochs"`
 }
 
 // ACTAggressive returns the paper's ACT-Aggressive variant: constant time
@@ -103,18 +138,37 @@ type actBankState struct {
 // Config parameterizes the controller.
 type Config struct {
 	// Defense selects the countermeasure (DefenseNone to disable).
-	Defense Defense
+	Defense Defense `json:"defense"`
 	// ACT configures DefenseAdaptive; ignored otherwise.
-	ACT ACTConfig
+	ACT ACTConfig `json:"act"`
 	// RequestOverhead is the fixed controller/queueing cost added to each
 	// request, in cycles.
-	RequestOverhead int64
+	RequestOverhead int64 `json:"request_overhead"`
 }
 
 // DefaultConfig returns an undefended controller with a 15-cycle fixed
 // request overhead (queue, scheduling, bus).
 func DefaultConfig() Config {
 	return Config{Defense: DefenseNone, RequestOverhead: 15}
+}
+
+// Validate reports configuration errors, naming fields by their JSON tags.
+func (c Config) Validate() error {
+	if !c.Defense.Valid() {
+		return fmt.Errorf(`memctrl: field "defense": unknown defense %d`, int(c.Defense))
+	}
+	if c.RequestOverhead < 0 {
+		return fmt.Errorf(`memctrl: field "request_overhead": must be >= 0 (got %d)`, c.RequestOverhead)
+	}
+	if c.Defense == DefenseAdaptive {
+		if c.ACT.EpochCycles <= 0 {
+			return fmt.Errorf(`memctrl: field "act.epoch_cycles": must be > 0 for the act defense (got %d)`, c.ACT.EpochCycles)
+		}
+		if c.ACT.ConflictThreshold <= 0 {
+			return fmt.Errorf(`memctrl: field "act.conflict_threshold": must be > 0 for the act defense (got %d)`, c.ACT.ConflictThreshold)
+		}
+	}
+	return nil
 }
 
 // Controller fronts a DRAM device.

@@ -24,17 +24,17 @@ const (
 type PEICosts struct {
 	// IssueCost is the core-side cost of dispatching one synchronous PEI
 	// (operand packing, PMU lookup, uncore hop).
-	IssueCost int64
+	IssueCost int64 `json:"issue_cost"`
 	// AsyncIssueCost is the core-side cost of a fire-and-forget PEI,
 	// which carries operand data and write semantics and therefore pays
 	// a heavier dispatch than a read-return PEI.
-	AsyncIssueCost int64
+	AsyncIssueCost int64 `json:"async_issue_cost"`
 	// PEIOverhead is the additional latency of executing a PEI in a
 	// memory-side PCU (3 cycles in the paper, after Ahn et al.).
-	PEIOverhead int64
+	PEIOverhead int64 `json:"pei_overhead"`
 	// HostExtra is the extra cost when the PMU routes the PEI to the
 	// host-side PCU (it then goes through the cache hierarchy).
-	HostExtra int64
+	HostExtra int64 `json:"host_extra"`
 }
 
 // DefaultPEICosts returns the calibrated constants (see DESIGN.md).

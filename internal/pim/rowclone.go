@@ -20,14 +20,14 @@ const (
 type RowCloneCosts struct {
 	// IssueCost is the core-side cost of composing and issuing one masked
 	// RowClone request, regardless of how many banks it fans out to.
-	IssueCost int64
+	IssueCost int64 `json:"issue_cost"`
 	// MeasureIssueCost is the cheaper single-bank probe issue the
 	// receiver uses (no range/mask composition).
-	MeasureIssueCost int64
+	MeasureIssueCost int64 `json:"measure_issue_cost"`
 	// PerBankDispatch is the memory controller's serialization cost per
 	// selected bank when it splits the masked request into per-bank
 	// operations.
-	PerBankDispatch int64
+	PerBankDispatch int64 `json:"per_bank_dispatch"`
 }
 
 // DefaultRowCloneCosts returns the calibrated constants (see DESIGN.md).

@@ -23,39 +23,41 @@ const FrequencyHz = 2.6e9
 // paper's headline numbers (see DESIGN.md "Calibration targets").
 type SoftCosts struct {
 	// TimerCost is the cost of one rdtscp read.
-	TimerCost int64
+	TimerCost int64 `json:"timer_cost"`
 	// SerializeCost is the cost of the cpuid serialization the paper's
 	// receiver pairs with rdtscp for precise measurement.
-	SerializeCost int64
+	SerializeCost int64 `json:"serialize_cost"`
 	// LoopOverhead is the per-iteration branch/index cost of the attack
 	// loops.
-	LoopOverhead int64
+	LoopOverhead int64 `json:"loop_overhead"`
 	// DecodeCost is the threshold compare + store per received bit.
-	DecodeCost int64
+	DecodeCost int64 `json:"decode_cost"`
 	// SemPost and SemWait are the semaphore synchronization costs of the
 	// sender/receiver protocol.
-	SemPost, SemWait int64
+	SemPost int64 `json:"sem_post"`
+	SemWait int64 `json:"sem_wait"`
 	// FenceBase is the fixed cost of a memory fence before waiting for
 	// outstanding operations.
-	FenceBase int64
+	FenceBase int64 `json:"fence_base"`
 	// DMASyscall and DMASetup model the deep software stack of the DMA
 	// engine path (context switch, descriptor setup).
-	DMASyscall, DMASetup int64
+	DMASyscall int64 `json:"dma_syscall"`
+	DMASetup   int64 `json:"dma_setup"`
 	// EvictionMLP is the fraction of DRAM latency exposed per eviction-set
 	// load once misses pipeline in the memory controller.
-	EvictionMLP float64
+	EvictionMLP float64 `json:"eviction_mlp"`
 	// SenderComputeCost is the per-bit message-inspection cost on the
 	// sender side (bit test, address computation).
-	SenderComputeCost int64
+	SenderComputeCost int64 `json:"sender_compute_cost"`
 	// MaskComputeCost is the cost of building a RowClone bank mask for a
 	// whole batch.
-	MaskComputeCost int64
+	MaskComputeCost int64 `json:"mask_compute_cost"`
 	// FlushOverhead is the serialization cost of a clflush (plus the
 	// mfence that must order it) beyond the cache tag probes.
-	FlushOverhead int64
+	FlushOverhead int64 `json:"flush_overhead"`
 	// SideProbeBookkeeping is the side-channel attacker's per-probe
 	// record-keeping cost (per-bank state update, timestamp logging).
-	SideProbeBookkeeping int64
+	SideProbeBookkeeping int64 `json:"side_probe_bookkeeping"`
 }
 
 // DefaultSoftCosts returns the calibrated constants.
@@ -83,35 +85,37 @@ func DefaultSoftCosts() SoftCosts {
 type NoiseConfig struct {
 	// EventsPerMCycle is the expected number of background row
 	// activations per million cycles across the whole device.
-	EventsPerMCycle float64
+	EventsPerMCycle float64 `json:"events_per_mcycle"`
 	// Seed drives the deterministic noise stream.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 }
 
-// Config describes a whole simulated system.
+// Config describes a whole simulated system. The JSON form (see FromJSON)
+// is the declarative surface of the experiment engine and the HTTP service,
+// so every field carries a stable snake_case tag.
 type Config struct {
 	// DRAM is the device geometry and timing (Table 2 defaults).
-	DRAM dram.Config
+	DRAM dram.Config `json:"dram"`
 	// Mapping selects the physical-address-to-bank scattering.
-	Mapping dram.MappingScheme
+	Mapping dram.MappingScheme `json:"mapping"`
 	// Mem is the memory controller configuration (defense selection).
-	Mem memctrl.Config
+	Mem memctrl.Config `json:"mem"`
 	// LLCBytes and LLCWays size the shared last-level cache; LLCLatency
 	// overrides the CACTI-derived latency when positive.
-	LLCBytes   int
-	LLCWays    int
-	LLCLatency int64
+	LLCBytes   int   `json:"llc_bytes"`
+	LLCWays    int   `json:"llc_ways"`
+	LLCLatency int64 `json:"llc_latency"`
 	// Cores is the number of simulated cores (Table 2: 4).
-	Cores int
+	Cores int `json:"cores"`
 	// Costs are the calibrated software-path constants.
-	Costs SoftCosts
+	Costs SoftCosts `json:"costs"`
 	// PEI and RowClone cost constants.
-	PEICosts      pim.PEICosts
-	RowCloneCosts pim.RowCloneCosts
+	PEICosts      pim.PEICosts      `json:"pei_costs"`
+	RowCloneCosts pim.RowCloneCosts `json:"rowclone_costs"`
 	// Noise configures background DRAM activity.
-	Noise NoiseConfig
+	Noise NoiseConfig `json:"noise"`
 	// EnablePrefetchers attaches the cache prefetchers (noise sources).
-	EnablePrefetchers bool
+	EnablePrefetchers bool `json:"enable_prefetchers"`
 }
 
 // DefaultConfig returns the paper's Table 2 system with an 8 MB shared LLC
