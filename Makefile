@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke
+.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke loadtest-smoke loadtest
 
-ci: fmt vet build test race sweep-smoke bench-smoke
+ci: fmt vet build test race sweep-smoke loadtest-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -17,10 +17,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel experiment runners must stay race-clean and deterministic.
+# The parallel experiment runners, the sharded+deduped result cache, and
+# the lock-free metrics must stay race-clean and deterministic.
 race:
 	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
-	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit'
+	$(GO) test -race ./internal/metrics
+	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns'
 
 # Quick regression signal on the allocation-free hot path.
 bench-smoke:
@@ -30,9 +32,19 @@ bench:
 	$(GO) test -bench . -benchmem .
 
 # Run the result-cached experiment HTTP service (POST /v1/run, GET
-# /v1/figures/{id}, GET /v1/scenarios, GET /healthz).
+# /v1/figures/{id}, GET /v1/scenarios, GET /v1/metrics, GET /healthz).
 serve:
 	$(GO) run ./cmd/impact-server
+
+# Short load-test against an in-process server: 8 workers, a mixed
+# run/figure schedule with a cold slice, -smoke asserting zero errors,
+# nonzero QPS, and a nonzero cache hit rate.
+loadtest-smoke:
+	$(GO) run ./cmd/impact-bench -inprocess -workers 8 -requests 64 -run-frac 0.5 -cold 0.1 -smoke
+
+# The full reproducible benchmark run recorded in docs/benchmark.md.
+loadtest:
+	$(GO) run ./cmd/impact-bench -inprocess -workers 8 -duration 30s -run-frac 0.5 -cold 0.05
 
 # The sweep CLI must produce byte-identical output regardless of the
 # worker count (every run is deterministic and content-addressed).

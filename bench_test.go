@@ -23,6 +23,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/figures"
 	"repro/internal/memctrl"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -687,4 +688,42 @@ func BenchmarkServerRun(b *testing.B) {
 			}
 		}
 	})
+
+	// The warm path under concurrency: many goroutines hammer one handler
+	// with the same spec, so throughput is bounded by the sharded cache and
+	// the metrics middleware rather than the simulator. Responses must stay
+	// byte-identical to the primed response under contention.
+	b.Run("cached-parallel", func(b *testing.B) {
+		h := exp.NewServer(exp.NewEngine(), 0).Handler()
+		warm := post(b, h)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(spec))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("POST /v1/run = %d: %s", rec.Code, rec.Body)
+				}
+				if !bytes.Equal(rec.Body.Bytes(), warm.Body.Bytes()) {
+					b.Fatal("concurrent cached response drifted")
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkMetricsObserve measures the serving layer's per-request metrics
+// cost: one padded atomic counter add plus one histogram observation
+// (binary search + atomic add). This rides on every instrumented request,
+// so it must stay in the low-nanosecond, zero-allocation regime.
+func BenchmarkMetricsObserve(b *testing.B) {
+	set := metrics.NewSet("requests")
+	lat := set.AddHistogram("latency_ns", metrics.LatencyBounds())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Add(0, 1)
+		set.Observe(lat, int64(i%1_000_000_000))
+	}
 }

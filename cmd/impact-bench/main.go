@@ -1,0 +1,437 @@
+// Command impact-bench is a concurrent load generator for impact-server.
+// It fires a configurable mix of POST /v1/run and GET /v1/figures/{id}
+// requests from a pool of workers and reports QPS, client-observed cache
+// hit rate, and latency percentiles (p50/p90/p99, estimated from
+// internal/metrics fixed-bucket histograms) as text or JSON.
+//
+// The run mix can be split cold/warm: a warm request repeats the base spec
+// (content-addressed, so it is served from the result cache after the
+// first computation), while a cold request patches a unique noise.seed
+// into the spec's config, forcing a fresh simulation. That makes the two
+// ends of the serving spectrum — pure cache reads vs. full simulator
+// sweeps — measurable in one run. Cold requests therefore require a
+// config-sensitive scenario (the covert-* family).
+//
+//	impact-bench -addr http://localhost:8322 -workers 8 -duration 10s
+//	impact-bench -inprocess -requests 64 -run-frac 0.5 -cold 0.1 -json
+//
+// With -inprocess the tool spins up an exp.Server on a loopback listener
+// and load-tests that, so a one-command smoke run needs no external
+// server (make loadtest-smoke). -smoke exits nonzero unless the run saw
+// zero errors, nonzero QPS, and a nonzero cache hit rate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+)
+
+// defaultSpec is the built-in quick-scale sweep used when -spec is not
+// given: two unique runs, config-sensitive so -cold works.
+const defaultSpec = `{
+	"scenario": "covert-pnm",
+	"scale": "quick",
+	"grid": {"llc_bytes": [4194304, 8388608]}
+}`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "impact-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// opKind labels the two request types in the mix.
+type opKind int
+
+const (
+	opRun opKind = iota
+	opFigure
+	opCount
+)
+
+var opNames = []string{"run", "figure"}
+
+// Per-op counter slots inside the metrics.Groups blocks.
+const (
+	ctrRequests = iota
+	ctrErrors
+	ctrHit
+	ctrMiss
+	ctrPartial
+)
+
+// newBenchMetrics aggregates all workers' observations: one counter block
+// and one latency histogram per op, all lock-free.
+func newBenchMetrics() *metrics.Groups {
+	return metrics.NewGroups(opNames, []string{"requests", "errors", "hit", "miss", "partial"},
+		"latency_ns", metrics.LatencyBounds())
+}
+
+// config is the parsed flag set.
+type config struct {
+	base     string
+	spec     []byte
+	specDoc  map[string]any // parsed spec, template for cold variants
+	figure   string
+	workers  int
+	duration time.Duration
+	requests int64
+	runFrac  float64
+	coldFrac float64
+	jsonOut  bool
+	smoke    bool
+}
+
+// run parses flags, drives the load, and prints the summary.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("impact-bench", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8322", "base URL of impact-server")
+	specPath := fs.String("spec", "", "spec file for POST /v1/run (default: built-in 2-point covert-pnm sweep)")
+	figure := fs.String("figure", "rowbuffer", "figure ID for GET /v1/figures/{id}")
+	workers := fs.Int("workers", 8, "concurrent client workers")
+	duration := fs.Duration("duration", 10*time.Second, "how long to fire (ignored when -requests > 0)")
+	requests := fs.Int64("requests", 0, "total request budget (0 = run for -duration)")
+	runFrac := fs.Float64("run-frac", 0.5, "fraction of requests that POST /v1/run (rest GET the figure)")
+	coldFrac := fs.Float64("cold", 0, "fraction of run requests forced cold via a unique noise.seed config patch")
+	inprocess := fs.Bool("inprocess", false, "load-test an in-process server on a loopback listener")
+	jsonOut := fs.Bool("json", false, "print the summary as JSON")
+	smoke := fs.Bool("smoke", false, "exit nonzero unless errors==0, QPS>0, and hit rate>0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("need at least 1 worker, got %d", *workers)
+	}
+	if *runFrac < 0 || *runFrac > 1 {
+		return fmt.Errorf("-run-frac %v outside [0, 1]", *runFrac)
+	}
+	if *coldFrac < 0 || *coldFrac > 1 {
+		return fmt.Errorf("-cold %v outside [0, 1]", *coldFrac)
+	}
+	if *requests < 0 {
+		return fmt.Errorf("negative request budget %d", *requests)
+	}
+	if *requests == 0 && *duration <= 0 {
+		return fmt.Errorf("need -requests > 0 or -duration > 0")
+	}
+
+	cfg := config{
+		figure:   *figure,
+		workers:  *workers,
+		duration: *duration,
+		requests: *requests,
+		runFrac:  *runFrac,
+		coldFrac: *coldFrac,
+		jsonOut:  *jsonOut,
+		smoke:    *smoke,
+	}
+	cfg.spec = []byte(defaultSpec)
+	if *specPath != "" {
+		blob, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		cfg.spec = blob
+	}
+	if err := json.Unmarshal(cfg.spec, &cfg.specDoc); err != nil {
+		return fmt.Errorf("spec is not a JSON object: %v", err)
+	}
+
+	if *inprocess {
+		ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 0).Handler())
+		defer ts.Close()
+		cfg.base = ts.URL
+	} else {
+		cfg.base = *addr
+		if !strings.Contains(cfg.base, "://") {
+			cfg.base = "http://" + cfg.base
+		}
+	}
+
+	sum, err := drive(cfg)
+	if err != nil {
+		return err
+	}
+	if err := printSummary(stdout, cfg, sum); err != nil {
+		return err
+	}
+	if cfg.smoke {
+		total := sum.Total
+		if total.Errors > 0 || total.QPS <= 0 || total.HitRate <= 0 {
+			return fmt.Errorf("smoke check failed: errors=%d qps=%.1f hit_rate=%.3f",
+				total.Errors, total.QPS, total.HitRate)
+		}
+		// In -json mode the verdict goes to stderr so stdout stays a single
+		// machine-parseable document (the exit code carries pass/fail).
+		dst := stdout
+		if cfg.jsonOut {
+			dst = os.Stderr
+		}
+		fmt.Fprintln(dst, "loadtest-smoke: ok")
+	}
+	return nil
+}
+
+// coldSpec returns the base spec with a unique noise.seed patched into its
+// config, so the run misses the content-addressed cache by construction.
+func coldSpec(doc map[string]any, n int64) ([]byte, error) {
+	patched := make(map[string]any, len(doc)+1)
+	for k, v := range doc {
+		patched[k] = v
+	}
+	cfgField, _ := patched["config"].(map[string]any)
+	cfg := make(map[string]any, len(cfgField)+1)
+	for k, v := range cfgField {
+		cfg[k] = v
+	}
+	noiseField, _ := cfg["noise"].(map[string]any)
+	noise := make(map[string]any, len(noiseField)+1)
+	for k, v := range noiseField {
+		noise[k] = v
+	}
+	noise["seed"] = n
+	cfg["noise"] = noise
+	patched["config"] = cfg
+	return json.Marshal(patched)
+}
+
+// drive fires the configured load and aggregates the results.
+func drive(cfg config) (*summary, error) {
+	met := newBenchMetrics()
+	// The default transport pools only 2 idle connections per host, which
+	// would make every worker beyond the second pay connection churn —
+	// a client-side artifact in the numbers this tool exists to measure.
+	client := &http.Client{
+		Timeout: 5 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers,
+			MaxIdleConnsPerHost: cfg.workers,
+		},
+	}
+
+	var issued atomic.Int64  // budget mode: claimed request slots
+	var coldSeq atomic.Int64 // unique seed source for cold runs
+	deadline := time.Now().Add(cfg.duration)
+
+	next := func() bool {
+		if cfg.requests > 0 {
+			return issued.Add(1) <= cfg.requests
+		}
+		return time.Now().Before(deadline)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Deterministic per-worker op mix: the request schedule is a
+			// pure function of flags and worker index.
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for next() {
+				var err error
+				if rng.Float64() < cfg.runFrac {
+					err = doRun(client, cfg, met, rng, &coldSeq)
+				} else {
+					err = doFigure(client, cfg, met)
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return summarize(met, elapsed), nil
+}
+
+// observe records one completed request in the shared metrics.
+func observe(met *metrics.Groups, op opKind, d time.Duration, status int, xcache string) {
+	met.Add(int(op), ctrRequests, 1)
+	met.Observe(int(op), d.Nanoseconds())
+	if status >= 400 {
+		met.Add(int(op), ctrErrors, 1)
+		return
+	}
+	switch xcache {
+	case "hit":
+		met.Add(int(op), ctrHit, 1)
+	case "partial":
+		met.Add(int(op), ctrPartial, 1)
+	default:
+		met.Add(int(op), ctrMiss, 1)
+	}
+}
+
+// doRun fires one POST /v1/run, cold or warm per the configured ratio.
+func doRun(client *http.Client, cfg config, met *metrics.Groups, rng *rand.Rand, coldSeq *atomic.Int64) error {
+	body := cfg.spec
+	if cfg.coldFrac > 0 && rng.Float64() < cfg.coldFrac {
+		var err error
+		if body, err = coldSpec(cfg.specDoc, coldSeq.Add(1)); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	resp, err := client.Post(cfg.base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	observe(met, opRun, time.Since(start), resp.StatusCode, resp.Header.Get("X-Cache"))
+	return nil
+}
+
+// doFigure fires one GET /v1/figures/{id}.
+func doFigure(client *http.Client, cfg config, met *metrics.Groups) error {
+	start := time.Now()
+	resp, err := client.Get(cfg.base + "/v1/figures/" + cfg.figure)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	observe(met, opFigure, time.Since(start), resp.StatusCode, resp.Header.Get("X-Cache"))
+	return nil
+}
+
+// opSummary is one row of the report.
+type opSummary struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Partial  int64   `json:"partial"`
+	QPS      float64 `json:"qps"`
+	HitRate  float64 `json:"hit_rate"`
+	P50      int64   `json:"latency_p50_ns"`
+	P90      int64   `json:"latency_p90_ns"`
+	P99      int64   `json:"latency_p99_ns"`
+	MeanNs   float64 `json:"latency_mean_ns"`
+}
+
+// summary is the whole report; Total aggregates both ops (its latency
+// percentiles merge the per-op histograms bucket-wise).
+type summary struct {
+	ElapsedSeconds float64              `json:"elapsed_seconds"`
+	Workers        int                  `json:"workers"`
+	Ops            map[string]opSummary `json:"ops"`
+	Total          opSummary            `json:"total"`
+}
+
+// summarize folds the metrics set into the report.
+func summarize(met *metrics.Groups, elapsed time.Duration) *summary {
+	sum := &summary{
+		ElapsedSeconds: elapsed.Seconds(),
+		Ops:            make(map[string]opSummary, opCount),
+	}
+	var merged metrics.HistogramSnapshot
+	for op := opKind(0); op < opCount; op++ {
+		lat := met.Histogram(int(op))
+		o := opSummary{
+			Requests: met.Value(int(op), ctrRequests),
+			Errors:   met.Value(int(op), ctrErrors),
+			Hits:     met.Value(int(op), ctrHit),
+			Misses:   met.Value(int(op), ctrMiss),
+			Partial:  met.Value(int(op), ctrPartial),
+			P50:      lat.Quantile(0.50),
+			P90:      lat.Quantile(0.90),
+			P99:      lat.Quantile(0.99),
+			MeanNs:   lat.Mean(),
+		}
+		o.QPS = rate(o.Requests, elapsed)
+		o.HitRate = hitRate(o)
+		sum.Ops[opNames[op]] = o
+
+		sum.Total.Requests += o.Requests
+		sum.Total.Errors += o.Errors
+		sum.Total.Hits += o.Hits
+		sum.Total.Misses += o.Misses
+		sum.Total.Partial += o.Partial
+		if merged.Counts == nil {
+			merged = lat
+		} else {
+			for i := range merged.Counts {
+				merged.Counts[i] += lat.Counts[i]
+			}
+			merged.Count += lat.Count
+			merged.Sum += lat.Sum
+		}
+	}
+	sum.Total.QPS = rate(sum.Total.Requests, elapsed)
+	sum.Total.HitRate = hitRate(sum.Total)
+	sum.Total.P50 = merged.Quantile(0.50)
+	sum.Total.P90 = merged.Quantile(0.90)
+	sum.Total.P99 = merged.Quantile(0.99)
+	sum.Total.MeanNs = merged.Mean()
+	sum.Workers = 0 // set by caller-facing printSummary via cfg
+	return sum
+}
+
+func rate(n int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+// hitRate is hits over successful responses (errors excluded; partials
+// count as non-hits, which undersells overlapping sweeps but keeps the
+// metric honest for the common all-or-nothing case).
+func hitRate(o opSummary) float64 {
+	ok := o.Hits + o.Misses + o.Partial
+	if ok == 0 {
+		return 0
+	}
+	return float64(o.Hits) / float64(ok)
+}
+
+// printSummary renders the report as text or JSON.
+func printSummary(w io.Writer, cfg config, sum *summary) error {
+	sum.Workers = cfg.workers
+	if cfg.jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}
+	fmt.Fprintf(w, "impact-bench: %d workers, %.1fs against %s\n", cfg.workers, sum.ElapsedSeconds, cfg.base)
+	fmt.Fprintf(w, "%-8s %9s %7s %7s %8s %10s %10s %10s\n",
+		"op", "requests", "errors", "hit%", "qps", "p50", "p90", "p99")
+	row := func(name string, o opSummary) {
+		fmt.Fprintf(w, "%-8s %9d %7d %6.1f%% %8.1f %10s %10s %10s\n",
+			name, o.Requests, o.Errors, o.HitRate*100, o.QPS,
+			time.Duration(o.P50).Round(time.Microsecond),
+			time.Duration(o.P90).Round(time.Microsecond),
+			time.Duration(o.P99).Round(time.Microsecond))
+	}
+	for op := opKind(0); op < opCount; op++ {
+		row(opNames[op], sum.Ops[opNames[op]])
+	}
+	row("total", sum.Total)
+	return nil
+}

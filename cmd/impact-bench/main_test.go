@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestBenchBudgetRun drives a small request budget against an in-process
+// server and checks the whole summary contract: exact request accounting,
+// no errors, nonzero QPS, warm-path hits, and populated percentiles.
+func TestBenchBudgetRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 2).Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-workers", "4",
+		"-requests", "24",
+		"-run-frac", "0.5",
+		"-json",
+		"-smoke",
+	}, &out)
+	if err != nil {
+		t.Fatalf("bench run: %v\n%s", err, out.String())
+	}
+
+	// In -json mode stdout must be exactly one machine-parseable document
+	// (the smoke verdict goes to stderr).
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("stdout not a single JSON document: %v\n%s", err, out.String())
+	}
+	if sum.Total.Requests != 24 {
+		t.Fatalf("total requests = %d, want the full 24 budget", sum.Total.Requests)
+	}
+	if sum.Total.Errors != 0 {
+		t.Fatalf("errors = %d", sum.Total.Errors)
+	}
+	if sum.Total.QPS <= 0 {
+		t.Fatalf("qps = %f", sum.Total.QPS)
+	}
+	// After the first cold run/figure, every repeat is a cache hit.
+	if sum.Total.Hits == 0 {
+		t.Fatal("no cache hits in a warm-heavy mix")
+	}
+	if sum.Total.HitRate <= 0 || sum.Total.HitRate > 1 {
+		t.Fatalf("hit rate = %f", sum.Total.HitRate)
+	}
+	if sum.Total.P50 <= 0 || sum.Total.P99 < sum.Total.P50 {
+		t.Fatalf("percentiles p50=%d p99=%d", sum.Total.P50, sum.Total.P99)
+	}
+	runOp, figOp := sum.Ops["run"], sum.Ops["figure"]
+	if runOp.Requests+figOp.Requests != sum.Total.Requests {
+		t.Fatalf("op split %d+%d != total %d", runOp.Requests, figOp.Requests, sum.Total.Requests)
+	}
+	if runOp.Requests == 0 || figOp.Requests == 0 {
+		t.Fatalf("mix degenerate: run=%d figure=%d", runOp.Requests, figOp.Requests)
+	}
+}
+
+// TestBenchColdRequests checks that -cold forces fresh simulations: unique
+// noise.seed patches mean cold runs must miss the result cache.
+func TestBenchColdRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 2).Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-workers", "2",
+		"-requests", "8",
+		"-run-frac", "1",
+		"-cold", "1",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("bench run: %v\n%s", err, out.String())
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	runOp := sum.Ops["run"]
+	if runOp.Requests != 8 || runOp.Errors != 0 {
+		t.Fatalf("run op: %+v", runOp)
+	}
+	if runOp.Hits != 0 || runOp.Misses != 8 {
+		t.Fatalf("all-cold mix should only miss: %+v", runOp)
+	}
+}
+
+// TestColdSpecPatch pins the cold-variant construction: the patch adds a
+// unique seed without clobbering sibling config fields or the template.
+func TestColdSpecPatch(t *testing.T) {
+	var doc map[string]any
+	base := `{"scenario": "covert-pnm", "config": {"noise": {"events_per_mcycle": 2}, "llc_ways": 8}}`
+	if err := json.Unmarshal([]byte(base), &doc); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := coldSpec(doc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := exp.ParseSpec(blob)
+	if err != nil {
+		t.Fatalf("patched spec invalid: %v\n%s", err, blob)
+	}
+	var cfg struct {
+		Noise struct {
+			Seed  int64   `json:"seed"`
+			Noise float64 `json:"events_per_mcycle"`
+		} `json:"noise"`
+		Ways int `json:"llc_ways"`
+	}
+	if err := json.Unmarshal(spec.Config, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Noise.Seed != 42 || cfg.Noise.Noise != 2 || cfg.Ways != 8 {
+		t.Fatalf("patch mangled the config: %s", blob)
+	}
+	// Distinct seeds produce distinct documents; the template is untouched.
+	blob2, err := coldSpec(doc, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(blob, blob2) {
+		t.Fatal("distinct seeds produced identical specs")
+	}
+	if _, ok := doc["config"].(map[string]any)["noise"].(map[string]any)["seed"]; ok {
+		t.Fatal("coldSpec mutated the shared template")
+	}
+}
+
+// TestBenchFlagValidation pins flag error handling.
+func TestBenchFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-workers", "0"},
+		{"-run-frac", "1.5"},
+		{"-cold", "-0.1"},
+		{"-requests", "0", "-duration", "0s"},
+		{"-requests", "-5"},
+		{"-spec", "/does/not/exist.json"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("accepted %v", args)
+		}
+	}
+}

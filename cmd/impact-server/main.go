@@ -1,9 +1,13 @@
 // Command impact-server serves the experiment engine over HTTP: POST
 // /v1/run executes a declarative sweep spec (see internal/exp.Spec), GET
 // /v1/figures/{id} replays one paper artifact, GET /v1/scenarios lists the
-// registry, and GET /healthz reports cache hit/miss counters. Because the
-// simulator is deterministic, every report is content-addressed and served
-// from cache after its first computation.
+// registry, GET /v1/metrics reports per-route request counters and latency
+// percentiles, and GET /healthz reports cache hit/miss counters. Because
+// the simulator is deterministic, every report is content-addressed and
+// served from the sharded result cache after its first computation, with
+// identical in-flight requests deduplicated onto one simulation. See
+// docs/api.md for the full wire contract and cmd/impact-bench for the
+// matching load generator.
 package main
 
 import (

@@ -2,58 +2,116 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"sync"
 
-	"repro/internal/stats"
+	"repro/internal/metrics"
 )
 
 // Fixed counter IDs for cache statistics, in the slot order passed to
-// stats.NewFixed in NewCache.
+// metrics.NewSet in NewCache.
 const (
-	CounterHits stats.CounterID = iota
-	CounterMisses
-	CounterStores
-	CounterEvictions
+	cacheHits metrics.CounterID = iota
+	cacheMisses
+	cacheStores
+	cacheEvictions
+	cacheComputes
+	cacheDedups
 )
 
-// maxEntries bounds the cache so a long-running server cannot be grown
-// without limit by high-cardinality sweeps; eviction is FIFO (oldest
-// insertion first). Evicting never changes any response byte — a re-miss
-// just re-simulates — so the bound only trades memory for hit rate.
-const maxEntries = 16384
+// cacheShards spreads entries over independently locked shards so
+// concurrent requests hitting the warm path do not serialize on one mutex.
+// Keys are uniformly distributed hex SHA-256 digests, so a small
+// power-of-two shard count balances well.
+const cacheShards = 16
+
+// maxEntries bounds the whole cache so a long-running server cannot be
+// grown without limit by high-cardinality sweeps; each shard holds at most
+// maxEntries/cacheShards entries and evicts FIFO (oldest insertion first).
+// Evicting never changes any response byte — a re-miss just re-simulates —
+// so the bound only trades memory for hit rate.
+const (
+	maxEntries = 16384
+	shardCap   = maxEntries / cacheShards
+)
 
 // Cache is a content-addressed result store: keys are the hex SHA-256 of a
 // run's canonical JSON document (see Run.Key), values are the marshaled
 // report bytes. Since the simulator is deterministic, a key maps to exactly
-// one possible value, so entries never need invalidation. Safe for
-// concurrent use; hit/miss/store traffic lands in fixed stats.Counters
-// slots that the HTTP service exports.
+// one possible value, so entries never need invalidation. Entries are
+// sharded by key hash behind per-shard mutexes, and Compute adds
+// singleflight-style deduplication so identical in-flight runs — e.g. two
+// clients POSTing the same spec concurrently — are simulated exactly once.
+// Safe for concurrent use; all traffic lands in lock-free metrics.Set
+// counter slots that the HTTP service exports on /v1/metrics.
 type Cache struct {
-	mu       sync.Mutex
-	entries  map[string]json.RawMessage
-	order    []string // insertion order, for FIFO eviction
-	counters *stats.Counters
+	shards [cacheShards]cacheShard
+	met    *metrics.Set
+
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+}
+
+// cacheShard is one lock domain: a map plus its FIFO insertion order.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]json.RawMessage
+	order   []string
+}
+
+// flightCall tracks one in-progress computation; waiters block on done.
+type flightCall struct {
+	done chan struct{}
+	blob json.RawMessage
+	err  error
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{
-		entries:  make(map[string]json.RawMessage),
-		counters: stats.NewFixed("hits", "misses", "stores", "evictions"),
+	c := &Cache{
+		met:    metrics.NewSet("hits", "misses", "stores", "evictions", "computes", "dedup_hits"),
+		flight: make(map[string]*flightCall),
 	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]json.RawMessage)
+	}
+	return c
+}
+
+// shardFor hashes a key to its shard (FNV-1a; keys are hex digests, so any
+// cheap mix distributes them uniformly).
+func (c *Cache) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%cacheShards]
 }
 
 // Get returns the cached report bytes for a key, recording a hit or miss.
 // Callers must treat the returned bytes as immutable.
 func (c *Cache) Get(key string) (json.RawMessage, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	blob, ok := c.entries[key]
+	blob, ok := c.lookup(key)
 	if ok {
-		c.counters.Add(CounterHits, 1)
+		c.met.Add(cacheHits, 1)
 	} else {
-		c.counters.Add(CounterMisses, 1)
+		c.met.Add(cacheMisses, 1)
 	}
+	return blob, ok
+}
+
+// lookup probes a shard without touching the hit/miss counters (Compute's
+// double-check path must not distort per-request accounting).
+func (c *Cache) lookup(key string) (json.RawMessage, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	blob, ok := sh.entries[key]
+	sh.mu.Unlock()
 	return blob, ok
 }
 
@@ -61,38 +119,115 @@ func (c *Cache) Get(key string) (json.RawMessage, bool) {
 // deterministic simulator any concurrent second computation produced the
 // same bytes, so keeping the existing entry preserves pointer stability.
 func (c *Cache) Put(key string, blob json.RawMessage) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
 		return
 	}
-	for len(c.entries) >= maxEntries {
-		delete(c.entries, c.order[0])
-		c.order = c.order[1:]
-		c.counters.Add(CounterEvictions, 1)
+	for len(sh.entries) >= shardCap {
+		delete(sh.entries, sh.order[0])
+		sh.order = sh.order[1:]
+		c.met.Add(cacheEvictions, 1)
 	}
-	c.entries[key] = blob
-	c.order = append(c.order, key)
-	c.counters.Add(CounterStores, 1)
+	sh.entries[key] = blob
+	sh.order = append(sh.order, key)
+	c.met.Add(cacheStores, 1)
+}
+
+// Compute returns the report for a key, running fn to produce it if no
+// other goroutine already is: concurrent callers for one key coalesce onto
+// a single computation (singleflight), and with a deterministic simulator
+// every caller receives the same bytes either way. On error nothing is
+// cached and every coalesced caller gets the error; a later retry
+// recomputes. Callers are expected to have already probed Get (Compute
+// itself never records hits or misses, only computes and dedup_hits).
+func (c *Cache) Compute(key string, fn func() (json.RawMessage, error)) (json.RawMessage, error) {
+	c.flightMu.Lock()
+	if call, ok := c.flight[key]; ok {
+		c.flightMu.Unlock()
+		<-call.done
+		if call.err == nil {
+			c.met.Add(cacheDedups, 1)
+		}
+		return call.blob, call.err
+	}
+	// No computation in flight; one may have finished between the caller's
+	// miss and now, in which case its stored bytes are authoritative.
+	if blob, ok := c.lookup(key); ok {
+		c.flightMu.Unlock()
+		return blob, nil
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flight[key] = call
+	c.flightMu.Unlock()
+
+	// The flight entry must be cleared and done closed even if fn panics —
+	// a recovering caller above us must not wedge the key forever, and
+	// waiters must see an error rather than a nil report. The panic itself
+	// still propagates to the leader.
+	defer func() {
+		r := recover()
+		if r != nil {
+			call.err = fmt.Errorf("exp: panic computing run %s: %v", key, r)
+		}
+		c.flightMu.Lock()
+		delete(c.flight, key)
+		c.flightMu.Unlock()
+		close(call.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
+	c.met.Add(cacheComputes, 1)
+	call.blob, call.err = fn()
+	if call.err == nil {
+		c.Put(key, call.blob)
+	}
+	return call.blob, call.err
 }
 
 // Len returns the number of cached reports.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Hits and Misses return the lifetime lookup counters.
-func (c *Cache) Hits() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters.Value(CounterHits)
-}
+// Hits returns the lifetime hit counter.
+func (c *Cache) Hits() int64 { return c.met.Value(cacheHits) }
 
 // Misses returns the lifetime miss counter.
-func (c *Cache) Misses() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters.Value(CounterMisses)
+func (c *Cache) Misses() int64 { return c.met.Value(cacheMisses) }
+
+// CacheStats is a point-in-time copy of the cache counters, served on
+// /healthz and /v1/metrics. Computes counts actual simulator executions;
+// DedupHits counts callers whose identical in-flight run was coalesced
+// onto another request's computation.
+type CacheStats struct {
+	Entries   int64 `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	Computes  int64 `json:"computes"`
+	DedupHits int64 `json:"dedup_hits"`
+}
+
+// Stats snapshots all counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Entries:   int64(c.Len()),
+		Hits:      c.met.Value(cacheHits),
+		Misses:    c.met.Value(cacheMisses),
+		Stores:    c.met.Value(cacheStores),
+		Evictions: c.met.Value(cacheEvictions),
+		Computes:  c.met.Value(cacheComputes),
+		DedupHits: c.met.Value(cacheDedups),
+	}
 }

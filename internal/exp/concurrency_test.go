@@ -1,0 +1,253 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCacheCompute pins the singleflight contract on the cache alone:
+// concurrent Compute calls for one key run fn exactly once, every caller
+// gets the same bytes, and failed computations are not cached.
+func TestCacheCompute(t *testing.T) {
+	c := NewCache()
+	release := make(chan struct{})
+	var calls int
+	fn := func() (json.RawMessage, error) {
+		calls++ // safe: singleflight admits one executor at a time
+		<-release
+		return json.RawMessage(`{"v":1}`), nil
+	}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	blobs := make([]json.RawMessage, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			blob, err := c.Compute("k", fn)
+			if err != nil {
+				t.Error(err)
+			}
+			blobs[i] = blob
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	for _, blob := range blobs {
+		if string(blob) != `{"v":1}` {
+			t.Fatalf("coalesced caller got %q", blob)
+		}
+	}
+	st := c.Stats()
+	if st.Computes != 1 || st.Stores != 1 {
+		t.Fatalf("computes=%d stores=%d, want 1/1", st.Computes, st.Stores)
+	}
+	if st.DedupHits+1 > waiters {
+		t.Fatalf("dedup_hits=%d exceeds waiter count", st.DedupHits)
+	}
+
+	// A cached key never reruns fn, even through Compute.
+	if _, err := c.Compute("k", func() (json.RawMessage, error) {
+		t.Fatal("recomputed a cached key")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failures propagate to every coalesced caller and leave no entry, so
+	// a retry gets a fresh computation.
+	boom := errors.New("boom")
+	if _, err := c.Compute("bad", func() (json.RawMessage, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, ok := c.lookup("bad"); ok {
+		t.Fatal("failed computation was cached")
+	}
+	blob, err := c.Compute("bad", func() (json.RawMessage, error) { return json.RawMessage(`{}`), nil })
+	if err != nil || string(blob) != `{}` {
+		t.Fatalf("retry after failure: %q, %v", blob, err)
+	}
+}
+
+// TestCacheComputePanic pins panic safety: a panicking fn must not wedge
+// its key — the flight entry clears, waiters get an error instead of a
+// nil report, and a retry computes fresh.
+func TestCacheComputePanic(t *testing.T) {
+	c := NewCache()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }() // a recovering caller above Compute
+		c.Compute("k", func() (json.RawMessage, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+	// The leader is parked inside fn, so its flight entry is observable;
+	// this is exactly what a concurrent waiter would latch onto.
+	c.flightMu.Lock()
+	call := c.flight["k"]
+	c.flightMu.Unlock()
+	if call == nil {
+		t.Fatal("no flight entry while the leader is computing")
+	}
+	close(release)
+	<-call.done // the waiter path: block until the leader resolves
+	if call.err == nil || !strings.Contains(call.err.Error(), "panic") {
+		t.Fatalf("waiter-visible error = %v, want the leader's panic surfaced", call.err)
+	}
+	<-done
+	// The key is not wedged and nothing was cached: a retry computes fresh.
+	if _, ok := c.lookup("k"); ok {
+		t.Fatal("panicking computation left a cache entry")
+	}
+	blob, err := c.Compute("k", func() (json.RawMessage, error) { return json.RawMessage(`{}`), nil })
+	if err != nil || string(blob) != `{}` {
+		t.Fatalf("retry after panic: %q, %v", blob, err)
+	}
+}
+
+// TestConcurrentIdenticalRuns is the acceptance-criteria test for the
+// sharded+deduped cache: 8 concurrent workers POSTing the same spec get
+// byte-identical bodies while each unique run is simulated exactly once.
+// Run under -race via make race.
+func TestConcurrentIdenticalRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	srv := NewServer(NewEngine(), 2)
+	h := srv.Handler()
+	spec := `{
+		"scenario": "covert-pnm",
+		"grid": {"llc_bytes": [4194304, 8388608]}
+	}`
+	const workers = 8
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	bodies := make([][]byte, workers)
+	codes := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			rec := doRequest(t, h, http.MethodPost, "/v1/run", spec)
+			codes[i] = rec.Code
+			bodies[i] = rec.Body.Bytes()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("worker %d status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("worker %d body differs from worker 0", i)
+		}
+	}
+
+	st := srv.engine.Cache().Stats()
+	if st.Computes != 2 {
+		t.Fatalf("computes = %d, want exactly one simulation per unique run (2)", st.Computes)
+	}
+	if st.Stores != 2 || st.Entries != 2 {
+		t.Fatalf("stores=%d entries=%d, want 2/2", st.Stores, st.Entries)
+	}
+	// Every request either hit the cache outright or was coalesced onto the
+	// in-flight computation; nobody simulated redundantly.
+	if st.Hits+st.Misses != workers*2 {
+		t.Fatalf("hits=%d misses=%d, want %d lookups total", st.Hits, st.Misses, workers*2)
+	}
+}
+
+// TestObservabilityEndpointsDoNotPollute is the regression test for the
+// /healthz + /v1/metrics isolation rule: scraping the observability
+// endpoints must not touch the result cache or the per-route experiment
+// counters.
+func TestObservabilityEndpointsDoNotPollute(t *testing.T) {
+	h := NewServer(NewEngine(), 1).Handler()
+
+	readMetrics := func() MetricsDoc {
+		rec := doRequest(t, h, http.MethodGet, "/v1/metrics", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("metrics = %d: %s", rec.Code, rec.Body)
+		}
+		var doc MetricsDoc
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	// Scrape both observability endpoints repeatedly on a cold server.
+	for i := 0; i < 5; i++ {
+		if rec := doRequest(t, h, http.MethodGet, "/healthz", ""); rec.Code != http.StatusOK {
+			t.Fatalf("healthz = %d", rec.Code)
+		}
+		readMetrics()
+	}
+	doc := readMetrics()
+	if doc.Cache != (CacheStats{}) {
+		t.Fatalf("observability scrapes polluted the cache counters: %+v", doc.Cache)
+	}
+	for route, m := range doc.Requests {
+		if m.Requests != 0 || m.Errors != 0 {
+			t.Fatalf("observability scrapes counted as %q traffic: %+v", route, m)
+		}
+	}
+
+	// One real request registers in exactly one route's counters and the
+	// cache; further scrapes leave everything untouched.
+	if rec := doRequest(t, h, http.MethodGet, "/v1/figures/rowbuffer", ""); rec.Code != http.StatusOK {
+		t.Fatalf("figure = %d: %s", rec.Code, rec.Body)
+	}
+	doc = readMetrics()
+	fig := doc.Requests["figure"]
+	if fig.Requests != 1 || fig.Errors != 0 {
+		t.Fatalf("figure route after one request: %+v", fig)
+	}
+	if fig.LatencyP50N <= 0 || fig.LatencyP99N < fig.LatencyP50N {
+		t.Fatalf("latency percentiles not recorded: %+v", fig)
+	}
+	if doc.Requests["run"].Requests != 0 || doc.Requests["scenarios"].Requests != 0 {
+		t.Fatalf("figure request leaked into other routes: %+v", doc.Requests)
+	}
+	if doc.Cache.Misses != 1 || doc.Cache.Entries != 1 || doc.Cache.Computes != 1 {
+		t.Fatalf("cache after one cold figure: %+v", doc.Cache)
+	}
+
+	before := doc
+	for i := 0; i < 5; i++ {
+		doRequest(t, h, http.MethodGet, "/healthz", "")
+		readMetrics()
+	}
+	after := readMetrics()
+	if after.Cache != before.Cache {
+		t.Fatalf("cache counters drifted under scraping: %+v vs %+v", after.Cache, before.Cache)
+	}
+	if after.Requests["figure"].Requests != 1 {
+		t.Fatalf("figure counter drifted under scraping: %+v", after.Requests["figure"])
+	}
+
+	// Errors are counted per route too.
+	doRequest(t, h, http.MethodGet, "/v1/figures/nope", "")
+	if m := readMetrics().Requests["figure"]; m.Requests != 2 || m.Errors != 1 {
+		t.Fatalf("error accounting: %+v", m)
+	}
+}

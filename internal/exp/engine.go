@@ -89,7 +89,11 @@ func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
 	}
 
 	// Execute phase: shard the misses over the pool; results land at
-	// fixed indices, so scheduling order cannot reorder anything.
+	// fixed indices, so scheduling order cannot reorder anything. Each run
+	// goes through Cache.Compute, which coalesces identical in-flight runs
+	// across concurrent requests onto one simulation and caches every run
+	// that completes — so a corrected retry (or an overlapping sweep) never
+	// re-simulates the points that already succeeded.
 	if len(misses) > 0 {
 		if workers > len(misses) {
 			workers = len(misses)
@@ -103,7 +107,10 @@ func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					blobs[i], errs[i] = executeRun(misses[i])
+					r := misses[i]
+					blobs[i], errs[i] = e.cache.Compute(r.Key, func() (json.RawMessage, error) {
+						return executeRun(r)
+					})
 				}
 			}()
 		}
@@ -112,12 +119,8 @@ func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
 		}
 		close(work)
 		wg.Wait()
-		// Cache every run that did complete before reporting any failure,
-		// so a corrected retry (or an overlapping sweep) never re-simulates
-		// the points that already succeeded.
 		for i, r := range misses {
 			if errs[i] == nil {
-				e.cache.Put(r.Key, blobs[i])
 				reports[r.Key] = blobs[i]
 			}
 		}

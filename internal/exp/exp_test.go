@@ -294,21 +294,36 @@ func TestScenarioRegistry(t *testing.T) {
 	}
 }
 
-// TestCacheEviction checks the FIFO size bound: the cache never exceeds
-// maxEntries and evicts oldest-first.
+// TestCacheEviction checks the sharded FIFO size bound: the cache never
+// exceeds maxEntries in total, each shard evicts oldest-first, and the
+// eviction counter accounts for every displaced entry.
 func TestCacheEviction(t *testing.T) {
 	c := NewCache()
 	blob := json.RawMessage(`{}`)
-	for i := 0; i < maxEntries+2; i++ {
+	// Overfill every shard: 2x the global bound guarantees each of the 16
+	// shards sees more inserts than its per-shard cap.
+	const inserts = 2 * maxEntries
+	for i := 0; i < inserts; i++ {
 		c.Put("key-"+strconv.Itoa(i), blob)
 	}
-	if c.Len() != maxEntries {
+	if c.Len() > maxEntries {
 		t.Fatalf("cache grew to %d entries, bound is %d", c.Len(), maxEntries)
 	}
 	if _, ok := c.Get("key-0"); ok {
-		t.Fatal("oldest entry survived eviction")
+		t.Fatal("oldest entry survived a full overfill of its shard")
 	}
-	if _, ok := c.Get("key-" + strconv.Itoa(maxEntries+1)); !ok {
+	if _, ok := c.Get("key-" + strconv.Itoa(inserts-1)); !ok {
 		t.Fatal("newest entry missing")
+	}
+	st := c.Stats()
+	if st.Stores != inserts || st.Evictions != inserts-st.Entries {
+		t.Fatalf("stores=%d evictions=%d entries=%d, want every insert stored and evictions to account for the rest",
+			st.Stores, st.Evictions, st.Entries)
+	}
+	// A shard at capacity replaces its own oldest entry, never a
+	// neighbor's: re-adding an evicted key must land and stay retrievable.
+	c.Put("key-0", blob)
+	if _, ok := c.Get("key-0"); !ok {
+		t.Fatal("re-added key missing")
 	}
 }

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // maxSpecBytes bounds POST /v1/run request bodies.
@@ -19,26 +22,87 @@ const maxSpecBytes = 1 << 20
 //	POST /v1/run           run a Spec document, returns the SweepResult
 //	GET  /v1/figures/{id}  run one registry scenario, returns its Report
 //	GET  /v1/scenarios     list runnable scenarios
+//	GET  /v1/metrics       per-route request counters + latency percentiles
 //	GET  /healthz          liveness + cache hit/miss counters
+//
+// Experiment routes run behind a metrics middleware that records request
+// counts, error counts, and a latency histogram per route; /healthz and
+// /v1/metrics are deliberately outside it, so scraping observability
+// endpoints never pollutes the result cache or the experiment counters.
 type Server struct {
 	engine  *Engine
 	workers int
+	met     *metrics.Groups
 }
+
+// routeID labels the instrumented routes, in the counter slot order built
+// by newServerMetrics.
+type routeID int
+
+const (
+	routeRun routeID = iota
+	routeFigure
+	routeScenarios
+	routeCount
+)
+
+// routeNames are the stable labels used in the /v1/metrics document.
+var routeNames = []string{"run", "figure", "scenarios"}
+
+// Per-route counter slots inside the metrics.Groups blocks.
+const (
+	slotRequests = iota
+	slotErrors
+)
 
 // NewServer wraps an engine; workers bounds each request's simulation
 // pool (0 = all cores).
 func NewServer(engine *Engine, workers int) *Server {
-	return &Server{engine: engine, workers: workers}
+	return &Server{
+		engine:  engine,
+		workers: workers,
+		met: metrics.NewGroups(routeNames, []string{"requests", "errors"},
+			"latency_ns", metrics.LatencyBounds()),
+	}
 }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/scenarios", s.instrument(routeScenarios, s.handleScenarios))
+	mux.HandleFunc("POST /v1/run", s.instrument(routeRun, s.handleRun))
+	mux.HandleFunc("GET /v1/figures/{id}", s.instrument(routeFigure, s.handleFigure))
 	return mux
+}
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one experiment route with request/error counting and
+// wall-clock latency observation. Wall time is fine here: the serving
+// layer is the one part of the system that is *supposed* to be measured in
+// host time; simulated time never leaves the engine.
+func (s *Server) instrument(route routeID, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.met.Add(int(route), slotRequests, 1)
+		if rec.status >= 400 {
+			s.met.Add(int(route), slotErrors, 1)
+		}
+		s.met.Observe(int(route), time.Since(start).Nanoseconds())
+	}
 }
 
 // handleRun expands and runs a spec document.
@@ -86,18 +150,59 @@ func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"scenarios": ScenarioList()})
 }
 
-// handleHealth reports liveness and the engine's cache counters (the
-// stats.Counters slots underneath CounterHits/CounterMisses/CounterStores).
+// handleHealth reports liveness and the engine's cache counters. The shape
+// (status + entries/hits/misses) is a stable wire contract; the richer
+// document lives on /v1/metrics.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	c := s.engine.Cache()
+	st := s.engine.Cache().Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"cache": map[string]int64{
-			"entries": int64(c.Len()),
-			"hits":    c.Hits(),
-			"misses":  c.Misses(),
+			"entries": st.Entries,
+			"hits":    st.Hits,
+			"misses":  st.Misses,
 		},
 	})
+}
+
+// RouteMetrics is the per-route section of the /v1/metrics document.
+// Latency quantiles are estimated from the fixed 1-2-5 bucket ladder
+// (metrics.LatencyBounds), so they carry bucket-resolution error.
+type RouteMetrics struct {
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	LatencyMeanN float64 `json:"latency_mean_ns"`
+	LatencyP50N  int64   `json:"latency_p50_ns"`
+	LatencyP90N  int64   `json:"latency_p90_ns"`
+	LatencyP99N  int64   `json:"latency_p99_ns"`
+}
+
+// MetricsDoc is the GET /v1/metrics response body.
+type MetricsDoc struct {
+	Requests map[string]RouteMetrics `json:"requests"`
+	Cache    CacheStats              `json:"cache"`
+}
+
+// handleMetrics serves the runtime metrics document. Read-only: it must
+// never touch the result cache or the experiment counters (scrapers poll
+// this endpoint, and polling is not traffic).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	doc := MetricsDoc{
+		Requests: make(map[string]RouteMetrics, routeCount),
+		Cache:    s.engine.Cache().Stats(),
+	}
+	for i := range routeNames {
+		lat := s.met.Histogram(i)
+		doc.Requests[routeNames[i]] = RouteMetrics{
+			Requests:     s.met.Value(i, slotRequests),
+			Errors:       s.met.Value(i, slotErrors),
+			LatencyMeanN: lat.Mean(),
+			LatencyP50N:  lat.Quantile(0.50),
+			LatencyP90N:  lat.Quantile(0.90),
+			LatencyP99N:  lat.Quantile(0.99),
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // setCacheHeaders records how this request's unique runs were served:

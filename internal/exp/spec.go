@@ -5,8 +5,18 @@
 // simulator is deterministic (per-core logical clocks, seeded noise, no
 // wall-clock reads), a concrete run's canonical JSON identity maps to
 // exactly one report, so repeated and overlapping sweeps are served from
-// cache instead of re-simulated. cmd/impact-server exposes the engine over
-// HTTP; cmd/impact-sweep drives it from spec files.
+// cache instead of re-simulated.
+//
+// The cache is built for concurrent serving: entries are sharded by key
+// hash behind per-shard locks, and Cache.Compute coalesces identical
+// in-flight runs (singleflight) so two clients requesting the same sweep
+// at once trigger exactly one simulation. Server wraps the engine in an
+// HTTP API whose experiment routes run behind a metrics middleware
+// (request counts, error counts, latency histograms from
+// internal/metrics) exported on GET /v1/metrics; see docs/api.md for the
+// wire contract. cmd/impact-server exposes the engine over HTTP,
+// cmd/impact-sweep drives it from spec files, and cmd/impact-bench
+// load-tests the serving layer.
 package exp
 
 import (

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// histogram is a fixed-bucket distribution: counts[i] holds samples with
+// v <= bounds[i] (and above bounds[i-1]), counts[len(bounds)] is the
+// overflow bucket. Bounds are fixed at construction, so observing is one
+// binary search plus one padded atomic add.
+type histogram struct {
+	bounds []int64
+	counts []slot
+	sum    slot
+}
+
+// newHistogram builds a histogram over sorted inclusive upper bounds.
+func newHistogram(bounds []int64) *histogram {
+	return &histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]slot, len(bounds)+1),
+	}
+}
+
+// observe records one sample.
+func (h *histogram) observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].v.Add(1)
+	h.sum.v.Add(v)
+}
+
+// snapshot copies the current bucket counts.
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.v.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].v.Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts has one
+// more entry than Bounds (the trailing overflow bucket).
+type HistogramSnapshot struct {
+	Bounds []int64
+	Counts []int64
+	Count  int64
+	Sum    int64
+}
+
+// Mean returns the average observed value, or 0 with no samples.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the target rank; samples in the
+// overflow bucket are attributed to the highest bound. Returns 0 with no
+// samples. Resolution is bounded by the bucket ladder — with the 1-2-5
+// LatencyBounds ladder estimates land within the enclosing bucket's span.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank with ceil: p99 of 32 samples targets rank 32, so the
+	// slowest sample is visible in the tail instead of truncated away.
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if cum+c < target {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) {
+			break // overflow bucket
+		}
+		var lo int64
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + int64(float64(hi-lo)*float64(target-cum)/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// LatencyBounds returns the standard request-latency bucket ladder: a
+// 1-2-5 progression from 1µs to 10s, in nanoseconds (22 buckets plus
+// overflow). Wide enough for a cached JSON response and a full cold
+// simulation sweep to land in meaningful buckets.
+func LatencyBounds() []int64 {
+	var bounds []int64
+	for decade := int64(1_000); decade <= 1_000_000_000; decade *= 10 {
+		for _, m := range []int64{1, 2, 5} {
+			bounds = append(bounds, m*decade)
+		}
+	}
+	return append(bounds, 10_000_000_000)
+}

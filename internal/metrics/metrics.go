@@ -1,0 +1,144 @@
+// Package metrics provides lock-cheap runtime metrics for the serving
+// layer: fixed-slot atomic counters and fixed-bucket latency histograms.
+//
+// The design mirrors stats.Counters' slot layout — a small enum of integer
+// IDs registered at construction, then hot-path updates by array index with
+// no hashing and no allocation — but where stats.Counters belongs to a
+// single simulated entity, a metrics.Set is shared by every request-handling
+// goroutine in a server, so each slot is a cache-line-padded atomic.
+// Registration (NewSet, AddHistogram) must finish before the set is shared;
+// after that Add and Observe are safe for unlimited concurrent use.
+//
+// internal/exp uses a Set for its sharded result-cache counters and its
+// HTTP middleware; cmd/impact-bench uses one to aggregate client-side
+// latency percentiles.
+package metrics
+
+import "sync/atomic"
+
+// CounterID indexes a fixed counter slot registered via NewSet, in the
+// name order passed at construction (the ID for names[i] is i).
+type CounterID int
+
+// HistogramID indexes a histogram registered via AddHistogram, in
+// registration order.
+type HistogramID int
+
+// slot is one atomic counter padded out to a 64-byte cache line so that
+// adjacent hot slots do not false-share under concurrent increments.
+type slot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set is a fixed collection of atomic counters and histograms. The zero
+// value is not usable; construct with NewSet.
+type Set struct {
+	counters     []slot
+	counterNames []string
+	hists        []*histogram
+	histNames    []string
+}
+
+// NewSet returns a set with one counter slot per name, indexed in argument
+// order. Histograms are added separately with AddHistogram; all
+// registration must complete before the set is shared across goroutines.
+func NewSet(counterNames ...string) *Set {
+	return &Set{
+		counters:     make([]slot, len(counterNames)),
+		counterNames: append([]string(nil), counterNames...),
+	}
+}
+
+// AddHistogram registers a histogram whose buckets are the given sorted
+// inclusive upper bounds (plus an implicit overflow bucket), returning its
+// ID in registration order. Not safe to call concurrently with Observe.
+func (s *Set) AddHistogram(name string, bounds []int64) HistogramID {
+	s.hists = append(s.hists, newHistogram(bounds))
+	s.histNames = append(s.histNames, name)
+	return HistogramID(len(s.hists) - 1)
+}
+
+// Add atomically adds delta to a counter slot. Hot path: one padded
+// atomic add, no hashing, no allocation.
+func (s *Set) Add(id CounterID, delta int64) {
+	s.counters[id].v.Add(delta)
+}
+
+// Value returns the current value of a counter slot.
+func (s *Set) Value(id CounterID) int64 {
+	return s.counters[id].v.Load()
+}
+
+// CounterName returns the name a counter slot was registered under.
+func (s *Set) CounterName(id CounterID) string { return s.counterNames[id] }
+
+// Observe records one sample in a histogram.
+func (s *Set) Observe(id HistogramID, v int64) {
+	s.hists[id].observe(v)
+}
+
+// Histogram returns a point-in-time copy of a histogram's state. Slots are
+// read individually, so a snapshot taken under concurrent writes is
+// approximately — not transactionally — consistent, which is the standard
+// trade for lock-free metrics.
+func (s *Set) Histogram(id HistogramID) HistogramSnapshot {
+	return s.hists[id].snapshot()
+}
+
+// HistogramName returns the name a histogram was registered under.
+func (s *Set) HistogramName(id HistogramID) string { return s.histNames[id] }
+
+// Groups is a labeled family of metric blocks: every label gets the same
+// fixed block of counters (one per suffix, addressed by label index +
+// slot index) plus one histogram. This is the shape both the server's
+// per-route middleware and impact-bench's per-op accounting need, so the
+// stride arithmetic and name registration live here once.
+type Groups struct {
+	set   *Set
+	width int
+	hists []HistogramID
+}
+
+// NewGroups registers len(labels)*len(counterSuffixes) counters named
+// "<label>_<suffix>" plus one "<label>_<histSuffix>" histogram per label
+// over the given bounds. Registration order fixes the addressing: the
+// counter for (label i, slot j) is block i, offset j.
+func NewGroups(labels, counterSuffixes []string, histSuffix string, bounds []int64) *Groups {
+	names := make([]string, 0, len(labels)*len(counterSuffixes))
+	for _, l := range labels {
+		for _, c := range counterSuffixes {
+			names = append(names, l+"_"+c)
+		}
+	}
+	g := &Groups{set: NewSet(names...), width: len(counterSuffixes)}
+	for _, l := range labels {
+		g.hists = append(g.hists, g.set.AddHistogram(l+"_"+histSuffix, bounds))
+	}
+	return g
+}
+
+// counter maps (label, slot) to the underlying CounterID.
+func (g *Groups) counter(label, slot int) CounterID {
+	return CounterID(label*g.width + slot)
+}
+
+// Add atomically adds delta to one label's counter slot.
+func (g *Groups) Add(label, slot int, delta int64) {
+	g.set.Add(g.counter(label, slot), delta)
+}
+
+// Value returns one label's counter slot.
+func (g *Groups) Value(label, slot int) int64 {
+	return g.set.Value(g.counter(label, slot))
+}
+
+// Observe records one sample in a label's histogram.
+func (g *Groups) Observe(label int, v int64) {
+	g.set.Observe(g.hists[label], v)
+}
+
+// Histogram snapshots a label's histogram.
+func (g *Groups) Histogram(label int) HistogramSnapshot {
+	return g.set.Histogram(g.hists[label])
+}

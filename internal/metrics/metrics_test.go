@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterSlots pins the slot contract: IDs index names in argument
+// order and Add/Value round-trip.
+func TestCounterSlots(t *testing.T) {
+	s := NewSet("hits", "misses")
+	const hits, misses CounterID = 0, 1
+	s.Add(hits, 3)
+	s.Add(misses, 1)
+	s.Add(hits, 2)
+	if got := s.Value(hits); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+	if got := s.Value(misses); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	if s.CounterName(hits) != "hits" || s.CounterName(misses) != "misses" {
+		t.Fatal("counter names out of registration order")
+	}
+}
+
+// TestCountersConcurrent checks that concurrent increments are not lost
+// (run under -race in make race).
+func TestCountersConcurrent(t *testing.T) {
+	s := NewSet("n")
+	h := s.AddHistogram("lat", []int64{10, 100})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Add(0, 1)
+				s.Observe(h, int64(i%200))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Value(0); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Histogram(h).Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramBuckets pins bucket assignment: inclusive upper bounds and
+// a trailing overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	s := NewSet()
+	h := s.AddHistogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 500, 5000} {
+		s.Observe(h, v)
+	}
+	snap := s.Histogram(h)
+	want := []int64{2, 2, 1, 1} // <=10, <=100, <=1000, overflow
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 6 || snap.Sum != 5+10+11+100+500+5000 {
+		t.Fatalf("count=%d sum=%d", snap.Count, snap.Sum)
+	}
+	if snap.Mean() != float64(snap.Sum)/6 {
+		t.Fatalf("mean = %f", snap.Mean())
+	}
+}
+
+// TestQuantile checks interpolation, clamping, and the overflow rule.
+func TestQuantile(t *testing.T) {
+	s := NewSet()
+	h := s.AddHistogram("lat", []int64{100, 200, 400})
+	var zero HistogramSnapshot
+	if zero.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile nonzero")
+	}
+	// 100 samples spread evenly through the (100, 200] bucket.
+	for i := 0; i < 100; i++ {
+		s.Observe(h, 150)
+	}
+	snap := s.Histogram(h)
+	p50 := snap.Quantile(0.5)
+	if p50 <= 100 || p50 > 200 {
+		t.Fatalf("p50 = %d, want within (100, 200]", p50)
+	}
+	// The p99 of a distribution living in one bucket stays in that bucket.
+	if p99 := snap.Quantile(0.99); p99 <= 100 || p99 > 200 {
+		t.Fatalf("p99 = %d, want within (100, 200]", p99)
+	}
+	// Overflow samples report the top bound rather than inventing a value.
+	s.Observe(h, 10_000)
+	for i := 0; i < 400; i++ {
+		s.Observe(h, 10_000)
+	}
+	if got := s.Histogram(h).Quantile(0.99); got != 400 {
+		t.Fatalf("overflow p99 = %d, want top bound 400", got)
+	}
+	// Out-of-range q values clamp instead of panicking.
+	if snap.Quantile(-1) == 0 && snap.Count > 0 {
+		t.Fatal("q<0 returned 0 for a non-empty histogram")
+	}
+	snap.Quantile(2)
+}
+
+// TestGroups pins the labeled-block addressing: (label, slot) pairs map
+// to independent counters and each label owns its histogram.
+func TestGroups(t *testing.T) {
+	g := NewGroups([]string{"run", "figure"}, []string{"requests", "errors"}, "latency_ns", []int64{10, 100})
+	g.Add(0, 0, 3) // run_requests
+	g.Add(0, 1, 1) // run_errors
+	g.Add(1, 0, 7) // figure_requests
+	g.Observe(0, 50)
+	g.Observe(1, 5)
+	g.Observe(1, 5)
+	if g.Value(0, 0) != 3 || g.Value(0, 1) != 1 || g.Value(1, 0) != 7 || g.Value(1, 1) != 0 {
+		t.Fatalf("counter blocks crossed: %d %d %d %d", g.Value(0, 0), g.Value(0, 1), g.Value(1, 0), g.Value(1, 1))
+	}
+	if got := g.Histogram(0).Count; got != 1 {
+		t.Fatalf("run histogram count = %d, want 1", got)
+	}
+	if got := g.Histogram(1).Count; got != 2 {
+		t.Fatalf("figure histogram count = %d, want 2", got)
+	}
+	// Registered names follow the <label>_<suffix> convention.
+	if g.set.CounterName(g.counter(1, 1)) != "figure_errors" {
+		t.Fatalf("name = %q", g.set.CounterName(g.counter(1, 1)))
+	}
+}
+
+// TestLatencyBounds pins the ladder: sorted, 1µs through 10s.
+func TestLatencyBounds(t *testing.T) {
+	b := LatencyBounds()
+	if b[0] != 1_000 || b[len(b)-1] != 10_000_000_000 {
+		t.Fatalf("ladder endpoints %d..%d", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+}

@@ -3,6 +3,12 @@
 // IMPACT simulator. Everything here is allocation-light and fully
 // deterministic for a given seed, which keeps every experiment reproducible
 // bit-for-bit across runs and platforms.
+//
+// Counters' fixed-slot design — integer CounterIDs registered at
+// construction, hot-path increments by array index — is single-goroutine
+// by intent, matching the simulator's one-entity-one-counter-set layout.
+// Its concurrent sibling for the serving layer (atomic slots, latency
+// histograms) is internal/metrics, which borrows the same slot design.
 package stats
 
 // RNG is a small, fast, deterministic pseudo-random number generator based
