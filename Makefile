@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke loadtest-smoke loadtest
+.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke loadtest-smoke loadtest jobs-smoke
 
-ci: fmt vet build test race sweep-smoke loadtest-smoke bench-smoke
+ci: fmt vet build test race sweep-smoke loadtest-smoke jobs-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -17,12 +17,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel experiment runners, the sharded+deduped result cache, and
-# the lock-free metrics must stay race-clean and deterministic.
+# The parallel experiment runners, the sharded+deduped result cache, the
+# async job lifecycle, the durable store, and the lock-free metrics must
+# stay race-clean and deterministic.
 race:
 	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
 	$(GO) test -race ./internal/metrics
-	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns'
+	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore'
 
 # Quick regression signal on the allocation-free hot path.
 bench-smoke:
@@ -45,6 +46,14 @@ loadtest-smoke:
 # The full reproducible benchmark run recorded in docs/benchmark.md.
 loadtest:
 	$(GO) run ./cmd/impact-bench -inprocess -workers 8 -duration 30s -run-frac 0.5 -cold 0.05
+
+# Async job API smoke: the full submit → stream → poll lifecycle against
+# an in-process server backed by a temp durable store, 8 workers, -smoke
+# asserting zero errors, nonzero QPS, and a nonzero cache hit rate.
+jobs-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/impact-bench -inprocess -jobs -data-dir $$tmp/store -workers 8 -requests 32 -run-frac 1 -cold 0.1 -smoke; \
+	status=$$?; rm -rf $$tmp; exit $$status
 
 # The sweep CLI must produce byte-identical output regardless of the
 # worker count (every run is deterministic and content-addressed).

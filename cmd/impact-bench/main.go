@@ -15,10 +15,19 @@
 //	impact-bench -addr http://localhost:8322 -workers 8 -duration 10s
 //	impact-bench -inprocess -requests 64 -run-frac 0.5 -cold 0.1 -json
 //
+// With -jobs the run slice of the mix exercises the asynchronous job API
+// instead of the synchronous /v1/run: each op submits the spec to POST
+// /v1/jobs, drains GET /v1/jobs/{id}/stream (NDJSON, one RunResult per
+// line), and polls GET /v1/jobs/{id} to the terminal status, classifying
+// hit/miss from the job's cache counts.
+//
 // With -inprocess the tool spins up an exp.Server on a loopback listener
 // and load-tests that, so a one-command smoke run needs no external
-// server (make loadtest-smoke). -smoke exits nonzero unless the run saw
-// zero errors, nonzero QPS, and a nonzero cache hit rate.
+// server (make loadtest-smoke); -data-dir additionally backs the
+// in-process server with a durable result store, which makes warm-restart
+// behavior measurable by re-running the same command (make jobs-smoke).
+// -smoke exits nonzero unless the run saw zero errors, nonzero QPS, and a
+// nonzero cache hit rate.
 package main
 
 import (
@@ -93,6 +102,7 @@ type config struct {
 	requests int64
 	runFrac  float64
 	coldFrac float64
+	jobs     bool
 	jsonOut  bool
 	smoke    bool
 }
@@ -108,7 +118,9 @@ func run(args []string, stdout io.Writer) error {
 	requests := fs.Int64("requests", 0, "total request budget (0 = run for -duration)")
 	runFrac := fs.Float64("run-frac", 0.5, "fraction of requests that POST /v1/run (rest GET the figure)")
 	coldFrac := fs.Float64("cold", 0, "fraction of run requests forced cold via a unique noise.seed config patch")
+	jobs := fs.Bool("jobs", false, "drive run requests through the async job API (submit, stream, poll)")
 	inprocess := fs.Bool("inprocess", false, "load-test an in-process server on a loopback listener")
+	dataDir := fs.String("data-dir", "", "with -inprocess: durable result store directory for the in-process server")
 	jsonOut := fs.Bool("json", false, "print the summary as JSON")
 	smoke := fs.Bool("smoke", false, "exit nonzero unless errors==0, QPS>0, and hit rate>0")
 	if err := fs.Parse(args); err != nil {
@@ -130,6 +142,10 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("need -requests > 0 or -duration > 0")
 	}
 
+	if *dataDir != "" && !*inprocess {
+		return fmt.Errorf("-data-dir only applies with -inprocess (point -addr at a server started with its own -data-dir instead)")
+	}
+
 	cfg := config{
 		figure:   *figure,
 		workers:  *workers,
@@ -137,6 +153,7 @@ func run(args []string, stdout io.Writer) error {
 		requests: *requests,
 		runFrac:  *runFrac,
 		coldFrac: *coldFrac,
+		jobs:     *jobs,
 		jsonOut:  *jsonOut,
 		smoke:    *smoke,
 	}
@@ -153,7 +170,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *inprocess {
-		ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 0).Handler())
+		engine := exp.NewEngine()
+		if *dataDir != "" {
+			store, err := exp.NewStore(*dataDir)
+			if err != nil {
+				return err
+			}
+			engine = exp.NewEngineWithStore(store)
+		}
+		ts := httptest.NewServer(exp.NewServer(engine, 0, 0).Handler())
 		defer ts.Close()
 		cfg.base = ts.URL
 	} else {
@@ -182,7 +207,7 @@ func run(args []string, stdout io.Writer) error {
 		if cfg.jsonOut {
 			dst = os.Stderr
 		}
-		fmt.Fprintln(dst, "loadtest-smoke: ok")
+		fmt.Fprintln(dst, "smoke: ok")
 	}
 	return nil
 }
@@ -247,10 +272,13 @@ func drive(cfg config) (*summary, error) {
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			for next() {
 				var err error
-				if rng.Float64() < cfg.runFrac {
-					err = doRun(client, cfg, met, rng, &coldSeq)
-				} else {
+				switch {
+				case rng.Float64() >= cfg.runFrac:
 					err = doFigure(client, cfg, met)
+				case cfg.jobs:
+					err = doJob(client, cfg, met, rng, &coldSeq)
+				default:
+					err = doRun(client, cfg, met, rng, &coldSeq)
 				}
 				if err != nil {
 					errs[w] = err
@@ -304,6 +332,93 @@ func doRun(client *http.Client, cfg config, met *metrics.Groups, rng *rand.Rand,
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	observe(met, opRun, time.Since(start), resp.StatusCode, resp.Header.Get("X-Cache"))
+	return nil
+}
+
+// doJob drives one full async-job lifecycle: submit the spec (cold or
+// warm per the configured ratio), drain the NDJSON result stream, then
+// poll to the terminal status and classify hit/miss from the job's cache
+// counts. The observed latency covers the whole lifecycle, which is the
+// number a client of the async API actually experiences.
+func doJob(client *http.Client, cfg config, met *metrics.Groups, rng *rand.Rand, coldSeq *atomic.Int64) error {
+	body := cfg.spec
+	if cfg.coldFrac > 0 && rng.Float64() < cfg.coldFrac {
+		var err error
+		if body, err = coldSpec(cfg.specDoc, coldSeq.Add(1)); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	resp, err := client.Post(cfg.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&sub)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || decErr != nil || sub.ID == "" {
+		status := resp.StatusCode
+		if status < 400 {
+			status = http.StatusInternalServerError
+		}
+		observe(met, opRun, time.Since(start), status, "")
+		return nil
+	}
+
+	stream, err := client.Get(cfg.base + "/v1/jobs/" + sub.ID + "/stream")
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, stream.Body)
+	stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		observe(met, opRun, time.Since(start), stream.StatusCode, "")
+		return nil
+	}
+
+	// The stream ends when the last run is emitted; the terminal status
+	// lands moments later, so the poll loop normally exits first try.
+	var info struct {
+		Status string `json:"status"`
+		Hits   int    `json:"hits"`
+		Misses int    `json:"misses"`
+	}
+	for i := 0; i < 1000; i++ {
+		poll, err := client.Get(cfg.base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return err
+		}
+		decErr := json.NewDecoder(poll.Body).Decode(&info)
+		_, _ = io.Copy(io.Discard, poll.Body)
+		pollStatus := poll.StatusCode
+		poll.Body.Close()
+		if pollStatus != http.StatusOK {
+			observe(met, opRun, time.Since(start), pollStatus, "")
+			return nil
+		}
+		if decErr != nil {
+			return decErr
+		}
+		if info.Status == "done" || info.Status == "failed" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	status := http.StatusOK
+	if info.Status != "done" {
+		status = http.StatusInternalServerError
+	}
+	xcache := "miss"
+	switch {
+	case info.Misses == 0 && info.Hits > 0:
+		xcache = "hit"
+	case info.Misses > 0 && info.Hits > 0:
+		xcache = "partial"
+	}
+	observe(met, opRun, time.Since(start), status, xcache)
 	return nil
 }
 

@@ -16,7 +16,7 @@ func TestBenchBudgetRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulating sweeps in -short mode")
 	}
-	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 2).Handler())
+	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 2, 0).Handler())
 	defer ts.Close()
 
 	var out bytes.Buffer
@@ -72,7 +72,7 @@ func TestBenchColdRequests(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulating sweeps in -short mode")
 	}
-	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 2).Handler())
+	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 2, 0).Handler())
 	defer ts.Close()
 
 	var out bytes.Buffer

@@ -1,13 +1,17 @@
 // Command impact-server serves the experiment engine over HTTP: POST
-// /v1/run executes a declarative sweep spec (see internal/exp.Spec), GET
+// /v1/run executes a declarative sweep spec (see internal/exp.Spec), POST
+// /v1/jobs enqueues one as an asynchronous job (polled on GET
+// /v1/jobs/{id}, streamed as NDJSON on GET /v1/jobs/{id}/stream), GET
 // /v1/figures/{id} replays one paper artifact, GET /v1/scenarios lists the
-// registry, GET /v1/metrics reports per-route request counters and latency
-// percentiles, and GET /healthz reports cache hit/miss counters. Because
-// the simulator is deterministic, every report is content-addressed and
-// served from the sharded result cache after its first computation, with
-// identical in-flight requests deduplicated onto one simulation. See
-// docs/api.md for the full wire contract and cmd/impact-bench for the
-// matching load generator.
+// registry, GET /v1/metrics reports per-route request counters plus
+// cache/store/job statistics, and GET /healthz reports cache hit/miss
+// counters. Because the simulator is deterministic, every report is
+// content-addressed and served from the sharded result cache after its
+// first computation, with identical in-flight requests deduplicated onto
+// one simulation; with -data-dir the cache is additionally backed by a
+// durable disk store, so a restarted server answers previously computed
+// sweeps without re-simulating. See docs/api.md for the full wire
+// contract and cmd/impact-bench for the matching load generator.
 package main
 
 import (
@@ -35,11 +39,26 @@ func run(args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("impact-server", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8322", "listen address")
 	workers := fs.Int("workers", 0, "per-request simulation pool size (0 = all cores)")
+	dataDir := fs.String("data-dir", "", "durable result store directory (empty = in-memory cache only)")
+	maxJobs := fs.Int("max-jobs", 0, "async job registry bound; finished jobs retire FIFO (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 0 {
 		return fmt.Errorf("negative worker count %d", *workers)
+	}
+	if *maxJobs < 0 {
+		return fmt.Errorf("negative job bound %d", *maxJobs)
+	}
+
+	engine := exp.NewEngine()
+	if *dataDir != "" {
+		store, err := exp.NewStore(*dataDir)
+		if err != nil {
+			return err
+		}
+		engine = exp.NewEngineWithStore(store)
+		fmt.Fprintf(os.Stderr, "impact-server: durable result store at %s\n", store.Dir())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -53,7 +72,7 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	srv := &http.Server{
-		Handler: exp.NewServer(exp.NewEngine(), *workers).Handler(),
+		Handler: exp.NewServer(engine, *workers, *maxJobs).Handler(),
 		// Bound how long a client may dribble headers/body so stalled
 		// connections cannot pin goroutines and file descriptors.
 		ReadHeaderTimeout: 10 * time.Second,

@@ -42,21 +42,34 @@ const (
 // sharded by key hash behind per-shard mutexes, and Compute adds
 // singleflight-style deduplication so identical in-flight runs — e.g. two
 // clients POSTing the same spec concurrently — are simulated exactly once.
+//
+// A Cache built with NewCacheWithStore is additionally backed by a durable
+// disk Store: memory misses fall through to disk (promoting hits back into
+// memory), and every computed report is written through, so a restarted
+// server serves previously computed sweeps as cache hits.
+//
 // Safe for concurrent use; all traffic lands in lock-free metrics.Set
 // counter slots that the HTTP service exports on /v1/metrics.
 type Cache struct {
 	shards [cacheShards]cacheShard
 	met    *metrics.Set
+	store  *Store // nil = memory only
 
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
 }
 
-// cacheShard is one lock domain: a map plus its FIFO insertion order.
+// cacheShard is one lock domain: a map plus its FIFO insertion order,
+// tracked in a fixed-size ring buffer. A ring (rather than a slice head
+// advanced with order = order[1:]) keeps the backing array from churning
+// under sustained eviction and lets evicted key strings actually be
+// collected instead of staying pinned by the old backing array.
 type cacheShard struct {
 	mu      sync.Mutex
 	entries map[string]json.RawMessage
-	order   []string
+	order   []string // ring of len shardCap; oldest key at head
+	head    int
+	n       int
 }
 
 // flightCall tracks one in-progress computation; waiters block on done.
@@ -66,14 +79,21 @@ type flightCall struct {
 	err  error
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
+// NewCache returns an empty, memory-only cache.
+func NewCache() *Cache { return NewCacheWithStore(nil) }
+
+// NewCacheWithStore returns an empty cache layered over a durable disk
+// store (nil for memory only): lookups fall through memory → disk, and
+// stores write through to disk.
+func NewCacheWithStore(st *Store) *Cache {
 	c := &Cache{
 		met:    metrics.NewSet("hits", "misses", "stores", "evictions", "computes", "dedup_hits"),
+		store:  st,
 		flight: make(map[string]*flightCall),
 	}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]json.RawMessage)
+		c.shards[i].order = make([]string, shardCap)
 	}
 	return c
 }
@@ -94,9 +114,19 @@ func (c *Cache) shardFor(key string) *cacheShard {
 }
 
 // Get returns the cached report bytes for a key, recording a hit or miss.
-// Callers must treat the returned bytes as immutable.
+// Memory misses fall through to the disk store when one is configured;
+// disk hits are promoted back into memory and count as cache hits (the
+// store's own counters record the memory/disk split). Callers must treat
+// the returned bytes as immutable.
 func (c *Cache) Get(key string) (json.RawMessage, bool) {
 	blob, ok := c.lookup(key)
+	if !ok && c.store != nil {
+		if disk, diskOK := c.store.Get(key); diskOK {
+			blob, ok = disk, true
+			// Memory-only insert: the entry is already durable.
+			c.add(key, disk)
+		}
+	}
 	if ok {
 		c.met.Add(cacheHits, 1)
 	} else {
@@ -115,24 +145,42 @@ func (c *Cache) lookup(key string) (json.RawMessage, bool) {
 	return blob, ok
 }
 
-// Put stores report bytes under a key. First store wins: with a
-// deterministic simulator any concurrent second computation produced the
-// same bytes, so keeping the existing entry preserves pointer stability.
+// Put stores report bytes under a key, writing through to the disk store
+// when one is configured. First store wins: with a deterministic simulator
+// any concurrent second computation produced the same bytes, so keeping
+// the existing entry preserves pointer stability.
 func (c *Cache) Put(key string, blob json.RawMessage) {
+	if !c.add(key, blob) {
+		return
+	}
+	if c.store != nil {
+		c.store.Put(key, blob)
+	}
+}
+
+// add inserts into the in-memory tier only, evicting the shard's oldest
+// entries to stay within shardCap, and reports whether the key was new.
+// Steady-state eviction is allocation-free: the ring slot is overwritten
+// in place and the evicted key string is released.
+func (c *Cache) add(key string, blob json.RawMessage) bool {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.entries[key]; ok {
-		return
+		return false
 	}
-	for len(sh.entries) >= shardCap {
-		delete(sh.entries, sh.order[0])
-		sh.order = sh.order[1:]
+	for sh.n >= shardCap {
+		delete(sh.entries, sh.order[sh.head])
+		sh.order[sh.head] = ""
+		sh.head = (sh.head + 1) % shardCap
+		sh.n--
 		c.met.Add(cacheEvictions, 1)
 	}
 	sh.entries[key] = blob
-	sh.order = append(sh.order, key)
+	sh.order[(sh.head+sh.n)%shardCap] = key
+	sh.n++
 	c.met.Add(cacheStores, 1)
+	return true
 }
 
 // Compute returns the report for a key, running fn to produce it if no

@@ -41,9 +41,17 @@ type Engine struct {
 	cache *Cache
 }
 
-// NewEngine returns an engine with an empty cache.
+// NewEngine returns an engine with an empty, memory-only cache.
 func NewEngine() *Engine {
 	return &Engine{cache: NewCache()}
+}
+
+// NewEngineWithStore returns an engine whose cache is layered over a
+// durable disk store: lookups fall through memory → disk → simulate, and
+// every computed report is written through, so a new engine over the same
+// data dir serves previously computed sweeps without re-simulating.
+func NewEngineWithStore(st *Store) *Engine {
+	return &Engine{cache: NewCacheWithStore(st)}
 }
 
 // Cache exposes the engine's result cache (for metrics endpoints).
@@ -56,34 +64,66 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // and every report is deterministic, so neither the worker count nor the
 // cache state can change a single output byte.
 func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
+	runs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return e.execute(runs, workers, nil)
+}
+
+// execute produces every report for pre-expanded runs. When onRun is
+// non-nil it is called once per run index as that run's report becomes
+// available — in no particular order, possibly from several worker
+// goroutines at once — which is how the async job API streams results
+// while a sweep executes. The returned SweepResult is identical whether
+// or not onRun is set.
+func (e *Engine) execute(runs []Run, workers int, onRun func(int, RunResult)) (*SweepResult, error) {
 	if workers < 0 {
 		return nil, fmt.Errorf("exp: negative worker count %d", workers)
 	}
 	if workers == 0 {
 		workers = runtime.NumCPU()
 	}
-	runs, err := spec.Expand()
-	if err != nil {
-		return nil, err
+	out := &SweepResult{Runs: make([]RunResult, len(runs))}
+	idxByKey := make(map[string][]int, len(runs))
+	keyOrder := make([]string, 0, len(runs)) // unique keys, first occurrence first
+	runByKey := make(map[string]Run, len(runs))
+	for i, r := range runs {
+		out.Runs[i] = RunResult{
+			Key:      r.Key,
+			Scenario: r.Scenario,
+			Scale:    r.Scale.String(),
+			Params:   r.Params,
+		}
+		if _, seen := idxByKey[r.Key]; !seen {
+			keyOrder = append(keyOrder, r.Key)
+			runByKey[r.Key] = r
+		}
+		idxByKey[r.Key] = append(idxByKey[r.Key], i)
+	}
+
+	// resolve publishes one unique key's report to every run index that
+	// shares it. Distinct keys own distinct index sets, so concurrent
+	// workers never write the same element.
+	resolve := func(key string, blob json.RawMessage, cached bool) {
+		for _, i := range idxByKey[key] {
+			out.Runs[i].Report = blob
+			out.Runs[i].Cached = cached
+			if onRun != nil {
+				onRun(i, out.Runs[i])
+			}
+		}
 	}
 
 	// Lookup phase: one cache probe per unique key, so overlapping grid
 	// points inside one sweep are simulated at most once.
-	reports := make(map[string]json.RawMessage, len(runs))
-	cached := make(map[string]bool, len(runs))
 	var misses []Run
-	out := &SweepResult{}
-	for _, r := range runs {
-		if _, seen := cached[r.Key]; seen {
-			continue
-		}
-		if blob, ok := e.cache.Get(r.Key); ok {
-			reports[r.Key] = blob
-			cached[r.Key] = true
+	for _, key := range keyOrder {
+		if blob, ok := e.cache.Get(key); ok {
+			resolve(key, blob, true)
 			out.Hits++
 		} else {
-			cached[r.Key] = false
-			misses = append(misses, r)
+			misses = append(misses, runByKey[key])
 			out.Misses++
 		}
 	}
@@ -98,7 +138,6 @@ func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
 		if workers > len(misses) {
 			workers = len(misses)
 		}
-		blobs := make([]json.RawMessage, len(misses))
 		errs := make([]error, len(misses))
 		work := make(chan int)
 		var wg sync.WaitGroup
@@ -108,9 +147,13 @@ func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
 				defer wg.Done()
 				for i := range work {
 					r := misses[i]
-					blobs[i], errs[i] = e.cache.Compute(r.Key, func() (json.RawMessage, error) {
+					var blob json.RawMessage
+					blob, errs[i] = e.cache.Compute(r.Key, func() (json.RawMessage, error) {
 						return executeRun(r)
 					})
+					if errs[i] == nil {
+						resolve(r.Key, blob, false)
+					}
 				}
 			}()
 		}
@@ -119,11 +162,6 @@ func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
 		}
 		close(work)
 		wg.Wait()
-		for i, r := range misses {
-			if errs[i] == nil {
-				reports[r.Key] = blobs[i]
-			}
-		}
 		for i, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("exp: scenario %s (%s): %w",
@@ -132,17 +170,8 @@ func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
 		}
 	}
 
-	out.Runs = make([]RunResult, len(runs))
 	specSum := sha256.New()
-	for i, r := range runs {
-		out.Runs[i] = RunResult{
-			Key:      r.Key,
-			Scenario: r.Scenario,
-			Scale:    r.Scale.String(),
-			Params:   r.Params,
-			Report:   reports[r.Key],
-			Cached:   cached[r.Key],
-		}
+	for _, r := range runs {
 		specSum.Write([]byte(r.Key))
 	}
 	out.SpecKey = hex.EncodeToString(specSum.Sum(nil))

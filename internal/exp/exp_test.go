@@ -327,3 +327,60 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatal("re-added key missing")
 	}
 }
+
+// TestCacheEvictionChurn is the regression test for the FIFO order
+// bookkeeping: under sustained eviction the ring buffer must hold the
+// size bound, keep its backing storage fixed (the old order[1:] slice
+// head pinned every evicted key string and re-allocated under append),
+// and run allocation-free at steady state.
+func TestCacheEvictionChurn(t *testing.T) {
+	c := NewCache()
+	blob := json.RawMessage(`{}`)
+	keys := make([]string, 3*maxEntries)
+	for i := range keys {
+		keys[i] = "churn-" + strconv.Itoa(i)
+	}
+	for i, k := range keys {
+		c.Put(k, blob)
+		if i%1024 == 0 {
+			if n := c.Len(); n > maxEntries {
+				t.Fatalf("cache grew to %d entries mid-churn, bound is %d", n, maxEntries)
+			}
+		}
+	}
+	if n := c.Len(); n > maxEntries {
+		t.Fatalf("cache holds %d entries after churn, bound is %d", n, maxEntries)
+	}
+
+	// The ring's backing array never grows or shifts, and every slot not
+	// currently occupied has released its key string.
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if len(sh.order) != shardCap {
+			t.Fatalf("shard %d order len %d, want fixed %d", i, len(sh.order), shardCap)
+		}
+		live := 0
+		for _, k := range sh.order {
+			if k != "" {
+				live++
+			}
+		}
+		if live != sh.n || sh.n != len(sh.entries) {
+			t.Fatalf("shard %d: %d live slots, n=%d, %d entries", i, live, sh.n, len(sh.entries))
+		}
+		sh.mu.Unlock()
+	}
+
+	// Steady state: every shard is full, so each Put of an already
+	// allocated key evicts one entry and inserts another without growing
+	// anything — zero allocations per operation.
+	next := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		c.Put(keys[next%len(keys)], blob)
+		next++
+	})
+	if avg > 0.1 {
+		t.Fatalf("steady-state eviction allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,312 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Job statuses, in lifecycle order. A job is terminal once it reaches
+// JobDone or JobFailed.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// DefaultMaxJobs bounds the job registry when the caller does not choose
+// a limit.
+const DefaultMaxJobs = 256
+
+// ErrTooManyJobs tags submissions rejected because the registry is full
+// of jobs that are still queued or running (servers map it to 429).
+var ErrTooManyJobs = errors.New("exp: job registry full (all tracked jobs still queued or running)")
+
+// Fixed counter IDs for job statistics, in the slot order passed to
+// metrics.NewSet in NewJobs.
+const (
+	jobsSubmitted metrics.CounterID = iota
+	jobsRejected
+	jobsCompleted
+	jobsFailed
+	jobsRetired
+)
+
+// Job is one asynchronous sweep: a spec expanded at submission, executed
+// in the background over the engine's worker pool, with per-run results
+// observable while the sweep runs. Results are retained after completion
+// (for late polls and stream replays) until the registry retires the job.
+type Job struct {
+	// ID names the job in the HTTP API ("job-000001", …).
+	ID string
+
+	runs []Run
+
+	mu        sync.Mutex
+	notify    chan struct{} // closed and replaced on every state change
+	status    string
+	results   []RunResult
+	ready     []bool
+	completed int
+	hits      int // completed runs served from cache
+	misses    int // completed runs that were simulated
+	specKey   string
+	err       error
+}
+
+// JobInfo is the wire form of a job's state, served on POST /v1/jobs and
+// GET /v1/jobs/{id}. Hits and Misses count completed runs by how they
+// were served (cache vs. simulation); SpecKey and Error appear only in
+// terminal states.
+type JobInfo struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Runs      int    `json:"runs"`
+	Completed int    `json:"completed"`
+	Hits      int    `json:"hits"`
+	Misses    int    `json:"misses"`
+	SpecKey   string `json:"spec_key,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Total returns the number of concrete runs the job's spec expanded into.
+func (j *Job) Total() int { return len(j.runs) }
+
+// Info snapshots the job's current state.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:        j.ID,
+		Status:    j.status,
+		Runs:      len(j.runs),
+		Completed: j.completed,
+		Hits:      j.hits,
+		Misses:    j.misses,
+		SpecKey:   j.specKey,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+// Err returns the job's failure, if any (nil while non-terminal).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// WaitRun blocks until run i's result is available and returns it; ok is
+// false when the job reached a terminal state without producing run i
+// (a failed sweep) or ctx was canceled first. Results arrive in sweep
+// completion order internally, so waiting index by index streams them in
+// deterministic expansion order.
+func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
+	for {
+		j.mu.Lock()
+		if i < len(j.ready) && j.ready[i] {
+			rr := j.results[i]
+			j.mu.Unlock()
+			return rr, true
+		}
+		if j.status == JobDone || j.status == JobFailed {
+			j.mu.Unlock()
+			return RunResult{}, false
+		}
+		ch := j.notify
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return RunResult{}, false
+		}
+	}
+}
+
+// signal wakes every waiter; callers must hold j.mu.
+func (j *Job) signal() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// onRun records one completed run (the engine's execute callback; may be
+// called from several worker goroutines at once).
+func (j *Job) onRun(i int, rr RunResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results[i] = rr
+	j.ready[i] = true
+	j.completed++
+	if rr.Cached {
+		j.hits++
+	} else {
+		j.misses++
+	}
+	j.signal()
+}
+
+// finish moves the job to its terminal state.
+func (j *Job) finish(res *SweepResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.status = JobFailed
+		j.err = err
+	} else {
+		j.status = JobDone
+		j.specKey = res.SpecKey
+	}
+	j.signal()
+}
+
+// terminal reports whether the job has finished (done or failed).
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == JobDone || j.status == JobFailed
+}
+
+// Jobs is a bounded registry of asynchronous sweeps over one engine.
+// Submissions expand and validate eagerly (bad specs fail synchronously,
+// like POST /v1/run), then execute in a background goroutine. The
+// registry holds at most max jobs: when full, the oldest terminal job is
+// retired FIFO to make room, and if every tracked job is still queued or
+// running the submission is rejected with ErrTooManyJobs — so memory
+// stays flat no matter how many sweeps a long-lived server has answered.
+// Safe for concurrent use.
+type Jobs struct {
+	engine  *Engine
+	workers int
+	max     int
+	met     *metrics.Set
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for FIFO retirement
+	seq   int
+}
+
+// NewJobs returns an empty registry; workers bounds each job's simulation
+// pool (0 = all cores) and max bounds the registry (<= 0 selects
+// DefaultMaxJobs).
+func NewJobs(engine *Engine, workers, max int) *Jobs {
+	if max <= 0 {
+		max = DefaultMaxJobs
+	}
+	return &Jobs{
+		engine:  engine,
+		workers: workers,
+		max:     max,
+		met:     metrics.NewSet("submitted", "rejected", "completed", "failed", "retired"),
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// Submit validates and enqueues a spec, returning the queued job. The
+// spec is expanded synchronously so malformed submissions fail with the
+// same errors as POST /v1/run; execution happens in the background.
+func (js *Jobs) Submit(spec Spec) (*Job, error) {
+	runs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	js.mu.Lock()
+	for len(js.jobs) >= js.max {
+		if !js.retireOldestLocked() {
+			js.mu.Unlock()
+			js.met.Add(jobsRejected, 1)
+			return nil, ErrTooManyJobs
+		}
+	}
+	js.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", js.seq),
+		runs:    runs,
+		notify:  make(chan struct{}),
+		status:  JobQueued,
+		results: make([]RunResult, len(runs)),
+		ready:   make([]bool, len(runs)),
+	}
+	js.jobs[j.ID] = j
+	js.order = append(js.order, j.ID)
+	js.mu.Unlock()
+
+	js.met.Add(jobsSubmitted, 1)
+	go js.run(j)
+	return j, nil
+}
+
+// run executes one job to its terminal state.
+func (js *Jobs) run(j *Job) {
+	j.mu.Lock()
+	j.status = JobRunning
+	j.signal()
+	j.mu.Unlock()
+
+	res, err := js.engine.execute(j.runs, js.workers, j.onRun)
+	j.finish(res, err)
+	if err != nil {
+		js.met.Add(jobsFailed, 1)
+	} else {
+		js.met.Add(jobsCompleted, 1)
+	}
+}
+
+// retireOldestLocked drops the oldest terminal job, reporting whether one
+// existed. Queued and running jobs are never retired: a job a client is
+// still waiting on cannot disappear. Callers must hold js.mu.
+func (js *Jobs) retireOldestLocked() bool {
+	for i, id := range js.order {
+		if !js.jobs[id].terminal() {
+			continue
+		}
+		js.order = append(js.order[:i], js.order[i+1:]...)
+		delete(js.jobs, id)
+		js.met.Add(jobsRetired, 1)
+		return true
+	}
+	return false
+}
+
+// Get returns a tracked job by ID.
+func (js *Jobs) Get(id string) (*Job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	return j, ok
+}
+
+// JobsStats is a point-in-time copy of the registry counters, served on
+// /v1/metrics. Tracked is the current registry occupancy (bounded by the
+// configured max); Retired counts terminal jobs dropped FIFO to make
+// room.
+type JobsStats struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Retired   int64 `json:"retired"`
+	Tracked   int64 `json:"tracked"`
+}
+
+// Stats snapshots all counters.
+func (js *Jobs) Stats() JobsStats {
+	js.mu.Lock()
+	tracked := int64(len(js.jobs))
+	js.mu.Unlock()
+	return JobsStats{
+		Submitted: js.met.Value(jobsSubmitted),
+		Rejected:  js.met.Value(jobsRejected),
+		Completed: js.met.Value(jobsCompleted),
+		Failed:    js.met.Value(jobsFailed),
+		Retired:   js.met.Value(jobsRetired),
+		Tracked:   tracked,
+	}
+}

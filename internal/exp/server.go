@@ -11,7 +11,7 @@ import (
 	"repro/internal/metrics"
 )
 
-// maxSpecBytes bounds POST /v1/run request bodies.
+// maxSpecBytes bounds POST /v1/run and POST /v1/jobs request bodies.
 const maxSpecBytes = 1 << 20
 
 // Server serves experiment reports over HTTP from a shared Engine. Because
@@ -19,11 +19,14 @@ const maxSpecBytes = 1 << 20
 // spec are byte-identical across requests; the X-Cache headers are the
 // only request-dependent surface.
 //
-//	POST /v1/run           run a Spec document, returns the SweepResult
-//	GET  /v1/figures/{id}  run one registry scenario, returns its Report
-//	GET  /v1/scenarios     list runnable scenarios
-//	GET  /v1/metrics       per-route request counters + latency percentiles
-//	GET  /healthz          liveness + cache hit/miss counters
+//	POST /v1/run              run a Spec document, returns the SweepResult
+//	POST /v1/jobs             enqueue a Spec as an async job, returns 202
+//	GET  /v1/jobs/{id}        job status + per-run progress counts
+//	GET  /v1/jobs/{id}/stream RunResults as NDJSON while the sweep executes
+//	GET  /v1/figures/{id}     run one registry scenario, returns its Report
+//	GET  /v1/scenarios        list runnable scenarios
+//	GET  /v1/metrics          per-route counters + cache/store/job stats
+//	GET  /healthz             liveness + cache hit/miss counters
 //
 // Experiment routes run behind a metrics middleware that records request
 // counts, error counts, and a latency histogram per route; /healthz and
@@ -32,6 +35,7 @@ const maxSpecBytes = 1 << 20
 type Server struct {
 	engine  *Engine
 	workers int
+	jobs    *Jobs
 	met     *metrics.Groups
 }
 
@@ -43,11 +47,14 @@ const (
 	routeRun routeID = iota
 	routeFigure
 	routeScenarios
+	routeJobSubmit
+	routeJobStatus
+	routeJobStream
 	routeCount
 )
 
 // routeNames are the stable labels used in the /v1/metrics document.
-var routeNames = []string{"run", "figure", "scenarios"}
+var routeNames = []string{"run", "figure", "scenarios", "job_submit", "job_status", "job_stream"}
 
 // Per-route counter slots inside the metrics.Groups blocks.
 const (
@@ -55,12 +62,14 @@ const (
 	slotErrors
 )
 
-// NewServer wraps an engine; workers bounds each request's simulation
-// pool (0 = all cores).
-func NewServer(engine *Engine, workers int) *Server {
+// NewServer wraps an engine; workers bounds each request's (and each
+// job's) simulation pool (0 = all cores), maxJobs bounds the async job
+// registry (<= 0 selects DefaultMaxJobs).
+func NewServer(engine *Engine, workers, maxJobs int) *Server {
 	return &Server{
 		engine:  engine,
 		workers: workers,
+		jobs:    NewJobs(engine, workers, maxJobs),
 		met: metrics.NewGroups(routeNames, []string{"requests", "errors"},
 			"latency_ns", metrics.LatencyBounds()),
 	}
@@ -74,6 +83,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.instrument(routeScenarios, s.handleScenarios))
 	mux.HandleFunc("POST /v1/run", s.instrument(routeRun, s.handleRun))
 	mux.HandleFunc("GET /v1/figures/{id}", s.instrument(routeFigure, s.handleFigure))
+	mux.HandleFunc("POST /v1/jobs", s.instrument(routeJobSubmit, s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(routeJobStatus, s.handleJobStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.instrument(routeJobStream, s.handleJobStream))
 	return mux
 }
 
@@ -87,6 +99,19 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards flush capability so instrumented routes can stream —
+// without it the job stream's per-line flushes would silently buffer
+// until the sweep finished.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// discovers extension interfaces (Flusher, deadlines) through it.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps one experiment route with request/error counting and
 // wall-clock latency observation. Wall time is fine here: the serving
@@ -105,20 +130,30 @@ func (s *Server) instrument(route routeID, h http.HandlerFunc) http.HandlerFunc 
 	}
 }
 
-// handleRun expands and runs a spec document.
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+// readSpec reads and parses a request's spec document, writing the error
+// response itself on failure (shared by /v1/run and /v1/jobs).
+func readSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
-		return
+		return Spec{}, false
 	}
 	if len(body) > maxSpecBytes {
 		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec larger than %d bytes", maxSpecBytes))
-		return
+		return Spec{}, false
 	}
 	spec, err := ParseSpec(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return Spec{}, false
+	}
+	return spec, true
+}
+
+// handleRun expands and runs a spec document.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	spec, ok := readSpec(w, r)
+	if !ok {
 		return
 	}
 	res, err := s.engine.RunSpec(spec, s.workers)
@@ -139,10 +174,81 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	if len(res.Runs) == 0 {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("exp: scenario %q expanded to no runs", spec.Scenario))
+		return
+	}
 	setCacheHeaders(w, res.Hits, res.Misses)
-	w.Header().Set("Content-Type", "application/json")
+	writeRawJSON(w, http.StatusOK, res.Runs[0].Report)
+}
+
+// handleJobSubmit validates a spec and enqueues it as an async job: the
+// 202 response carries the job's initial state and a Location header, and
+// the client polls or streams from there while the sweep executes.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, ok := readSpec(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.jobs.Submit(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Info())
+}
+
+// handleJobStatus reports one job's lifecycle state and progress counts.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("exp: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleJobStream streams the job's RunResults as NDJSON in expansion
+// order, each line flushed as its run completes, so a client watches a
+// long sweep make progress instead of holding a silent connection. A
+// completed job replays its full result set; a failed sweep ends the
+// stream with an {"error": ...} line after the runs that did finish.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("exp: unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	w.Write(res.Runs[0].Report)
+	rc := http.NewResponseController(w)
+	for i := 0; i < job.Total(); i++ {
+		rr, ok := job.WaitRun(r.Context(), i)
+		if !ok {
+			if r.Context().Err() != nil {
+				return // client gone; nothing left to tell it
+			}
+			// Failed sweep: this run never finished, but later ones may
+			// have (the pool drains every queued run), and the contract
+			// promises every finished run before the error line.
+			continue
+		}
+		line, err := json.Marshal(rr)
+		if err != nil {
+			return
+		}
+		w.Write(line)
+		w.Write([]byte("\n"))
+		rc.Flush()
+	}
+	if err := job.Err(); err != nil {
+		line, _ := json.Marshal(map[string]string{"error": err.Error()})
+		w.Write(line)
+		w.Write([]byte("\n"))
+		rc.Flush()
+	}
 }
 
 // handleScenarios lists the registry.
@@ -167,20 +273,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // RouteMetrics is the per-route section of the /v1/metrics document.
 // Latency quantiles are estimated from the fixed 1-2-5 bucket ladder
-// (metrics.LatencyBounds), so they carry bucket-resolution error.
+// (metrics.LatencyBounds), so they carry bucket-resolution error;
+// LatencyOverflow counts samples beyond the top bound (reported by
+// quantiles as that bound) and LatencyNegative counts clock-skewed
+// samples clamped to zero, so neither distortion is silent.
 type RouteMetrics struct {
-	Requests     int64   `json:"requests"`
-	Errors       int64   `json:"errors"`
-	LatencyMeanN float64 `json:"latency_mean_ns"`
-	LatencyP50N  int64   `json:"latency_p50_ns"`
-	LatencyP90N  int64   `json:"latency_p90_ns"`
-	LatencyP99N  int64   `json:"latency_p99_ns"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	LatencyMeanN    float64 `json:"latency_mean_ns"`
+	LatencyP50N     int64   `json:"latency_p50_ns"`
+	LatencyP90N     int64   `json:"latency_p90_ns"`
+	LatencyP99N     int64   `json:"latency_p99_ns"`
+	LatencyOverflow int64   `json:"latency_overflow"`
+	LatencyNegative int64   `json:"latency_negative"`
 }
 
-// MetricsDoc is the GET /v1/metrics response body.
+// MetricsDoc is the GET /v1/metrics response body. Store is present only
+// when the engine has a durable disk store configured.
 type MetricsDoc struct {
 	Requests map[string]RouteMetrics `json:"requests"`
 	Cache    CacheStats              `json:"cache"`
+	Store    *StoreStats             `json:"store,omitempty"`
+	Jobs     JobsStats               `json:"jobs"`
 }
 
 // handleMetrics serves the runtime metrics document. Read-only: it must
@@ -190,16 +304,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	doc := MetricsDoc{
 		Requests: make(map[string]RouteMetrics, routeCount),
 		Cache:    s.engine.Cache().Stats(),
+		Jobs:     s.jobs.Stats(),
+	}
+	if st := s.engine.cache.store; st != nil {
+		stats := st.Stats()
+		doc.Store = &stats
 	}
 	for i := range routeNames {
 		lat := s.met.Histogram(i)
 		doc.Requests[routeNames[i]] = RouteMetrics{
-			Requests:     s.met.Value(i, slotRequests),
-			Errors:       s.met.Value(i, slotErrors),
-			LatencyMeanN: lat.Mean(),
-			LatencyP50N:  lat.Quantile(0.50),
-			LatencyP90N:  lat.Quantile(0.90),
-			LatencyP99N:  lat.Quantile(0.99),
+			Requests:        s.met.Value(i, slotRequests),
+			Errors:          s.met.Value(i, slotErrors),
+			LatencyMeanN:    lat.Mean(),
+			LatencyP50N:     lat.Quantile(0.50),
+			LatencyP90N:     lat.Quantile(0.90),
+			LatencyP99N:     lat.Quantile(0.99),
+			LatencyOverflow: lat.Overflow,
+			LatencyNegative: lat.Negative,
 		}
 	}
 	writeJSON(w, http.StatusOK, doc)
@@ -222,12 +343,25 @@ func setCacheHeaders(w http.ResponseWriter, hits, misses int) {
 }
 
 // statusFor maps engine errors to HTTP statuses: unknown scenarios are
-// 404s (the resource does not exist), everything else a client spec error.
+// 404s (the resource does not exist), a full job registry is a 429 (try
+// again once a job finishes), everything else a client spec error.
 func statusFor(err error) int {
 	if errors.Is(err, ErrUnknownScenario) {
 		return http.StatusNotFound
 	}
+	if errors.Is(err, ErrTooManyJobs) {
+		return http.StatusTooManyRequests
+	}
 	return http.StatusBadRequest
+}
+
+// writeRawJSON writes pre-marshaled JSON with the shared content type and
+// the trailing newline every JSON body carries.
+func writeRawJSON(w http.ResponseWriter, status int, blob []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(blob)
+	w.Write([]byte("\n"))
 }
 
 // writeJSON marshals v once and writes it; marshaling before WriteHeader
@@ -238,17 +372,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(blob)
-	w.Write([]byte("\n"))
+	writeRawJSON(w, status, blob)
 }
 
 // writeError emits a JSON error document.
 func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
 	blob, _ := json.Marshal(map[string]string{"error": err.Error()})
-	w.Write(blob)
-	w.Write([]byte("\n"))
+	writeRawJSON(w, status, blob)
 }

@@ -10,11 +10,16 @@
 // The cache is built for concurrent serving: entries are sharded by key
 // hash behind per-shard locks, and Cache.Compute coalesces identical
 // in-flight runs (singleflight) so two clients requesting the same sweep
-// at once trigger exactly one simulation. Server wraps the engine in an
-// HTTP API whose experiment routes run behind a metrics middleware
-// (request counts, error counts, latency histograms from
-// internal/metrics) exported on GET /v1/metrics; see docs/api.md for the
-// wire contract. cmd/impact-server exposes the engine over HTTP,
+// at once trigger exactly one simulation. Determinism also makes reports
+// safe to persist forever, so the cache can be layered over a durable
+// disk Store (memory → disk → simulate) that lets a restarted server
+// answer previously computed sweeps without re-simulating. Server wraps
+// the engine in an HTTP API — synchronous sweeps on POST /v1/run,
+// asynchronous ones through the bounded Jobs registry (POST /v1/jobs,
+// polled and streamed as NDJSON) — whose experiment routes run behind a
+// metrics middleware (request counts, error counts, latency histograms
+// from internal/metrics) exported on GET /v1/metrics; see docs/api.md
+// for the wire contract. cmd/impact-server exposes the engine over HTTP,
 // cmd/impact-sweep drives it from spec files, and cmd/impact-bench
 // load-tests the serving layer.
 package exp

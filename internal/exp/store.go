@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// Fixed counter IDs for store statistics, in the slot order passed to
+// metrics.NewSet in NewStore.
+const (
+	storeHits metrics.CounterID = iota
+	storeMisses
+	storeStores
+	storeCorrupt
+	storeErrors
+)
+
+// storeMagic tags every entry file's header line so an unrelated file
+// dropped into the data dir is never mistaken for a report.
+const storeMagic = "impactstore1"
+
+// Store is the durable half of the result cache: a directory of
+// content-addressed report blobs, one file per run key, fanned out over
+// 256 two-hex-digit subdirectories so no single directory grows huge.
+// Because the simulator is deterministic, a key maps to exactly one
+// possible value, so entries are written once and are valid forever — a
+// restarted server answers previously computed sweeps without
+// re-simulating.
+//
+// Every entry file is "impactstore1 <payload-bytes> <hex sha256>\n"
+// followed by the report bytes; writes go through a temp file in the
+// final directory plus an atomic rename, and reads verify the length and
+// checksum, silently discarding corrupt or truncated entries (the next
+// Put rewrites them clean). The store is best-effort by design: any I/O
+// failure degrades to a cache miss, never to a wrong answer.
+//
+// Safe for concurrent use; all counters land in lock-free metrics.Set
+// slots exported on /v1/metrics.
+type Store struct {
+	dir string
+	met *metrics.Set
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: store: %v", err)
+	}
+	return &Store{
+		dir: dir,
+		met: metrics.NewSet("hits", "misses", "stores", "corrupt_dropped", "errors"),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validStoreKey reports whether key is a lowercase hex SHA-256 digest —
+// the only names the store ever writes, and a guarantee that a key can
+// never traverse outside the data dir.
+func validStoreKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// entryPath maps a key to its file: <dir>/<first two hex digits>/<key>.
+func (s *Store) entryPath(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// Get returns the stored report bytes for a key. Corrupt or truncated
+// entries are deleted and reported as misses, so a damaged file heals on
+// the next Put instead of poisoning every later read.
+func (s *Store) Get(key string) (json.RawMessage, bool) {
+	if !validStoreKey(key) {
+		s.met.Add(storeMisses, 1)
+		return nil, false
+	}
+	path := s.entryPath(key)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		s.met.Add(storeMisses, 1)
+		return nil, false
+	}
+	if err != nil {
+		s.met.Add(storeErrors, 1)
+		s.met.Add(storeMisses, 1)
+		return nil, false
+	}
+	blob, ok := decodeEntry(data)
+	if !ok {
+		os.Remove(path)
+		s.met.Add(storeCorrupt, 1)
+		s.met.Add(storeMisses, 1)
+		return nil, false
+	}
+	s.met.Add(storeHits, 1)
+	return blob, true
+}
+
+// decodeEntry validates an entry file against its header, returning the
+// payload only when the magic, length, and checksum all agree.
+func decodeEntry(data []byte) (json.RawMessage, bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	var magic, sum string
+	var n int
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s %d %s", &magic, &n, &sum); err != nil {
+		return nil, false
+	}
+	if magic != storeMagic || n < 0 {
+		return nil, false
+	}
+	payload := data[nl+1:]
+	if len(payload) != n {
+		return nil, false
+	}
+	digest := sha256.Sum256(payload)
+	if hex.EncodeToString(digest[:]) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put persists report bytes under a key. First write wins (a deterministic
+// simulator makes any second write byte-identical anyway), and the
+// tmp+rename dance means readers only ever see complete entries — a crash
+// mid-write leaves at worst a stray temp file, never a torn entry.
+func (s *Store) Put(key string, blob json.RawMessage) {
+	if !validStoreKey(key) {
+		s.met.Add(storeErrors, 1)
+		return
+	}
+	path := s.entryPath(key)
+	if _, err := os.Stat(path); err == nil {
+		return
+	}
+	if err := s.write(path, blob); err != nil {
+		s.met.Add(storeErrors, 1)
+		return
+	}
+	s.met.Add(storeStores, 1)
+}
+
+// write creates the entry file atomically in the key's fan-out directory.
+func (s *Store) write(path string, blob json.RawMessage) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	digest := sha256.Sum256(blob)
+	header := fmt.Sprintf("%s %d %s\n", storeMagic, len(blob), hex.EncodeToString(digest[:]))
+	if _, err := tmp.WriteString(header); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// StoreStats is a point-in-time copy of the store counters, served on
+// /v1/metrics. CorruptDropped counts entries that failed header or
+// checksum validation and were deleted; Errors counts I/O failures that
+// degraded to misses or dropped writes.
+type StoreStats struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Stores         int64 `json:"stores"`
+	CorruptDropped int64 `json:"corrupt_dropped"`
+	Errors         int64 `json:"errors"`
+}
+
+// Stats snapshots all counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:           s.met.Value(storeHits),
+		Misses:         s.met.Value(storeMisses),
+		Stores:         s.met.Value(storeStores),
+		CorruptDropped: s.met.Value(storeCorrupt),
+		Errors:         s.met.Value(storeErrors),
+	}
+}

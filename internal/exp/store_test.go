@@ -1,0 +1,238 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testKey returns a syntactically valid store key derived from seed (the
+// store only accepts 64-char lowercase hex names).
+func testKey(seed byte) string {
+	return strings.Repeat(string([]byte{'a' + seed%6}), 64)
+}
+
+// TestStoreRoundTrip pins the disk format contract: entries land under a
+// two-hex-digit fan-out directory, round-trip byte-identically, and
+// first write wins.
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	if _, ok := st.Get(key); ok {
+		t.Fatal("phantom entry")
+	}
+	blob := json.RawMessage(`{"id":"x","rows":[1,2,3]}`)
+	st.Put(key, blob)
+	got, ok := st.Get(key)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("round trip = %q, %v", got, ok)
+	}
+	// The entry lives under the first two hex digits of its key.
+	path := filepath.Join(st.Dir(), key[:2], key)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("entry not at fan-out path: %v", err)
+	}
+	// First write wins, like the in-memory cache.
+	st.Put(key, json.RawMessage(`{"id":"y"}`))
+	got, _ = st.Get(key)
+	if !bytes.Equal(got, blob) {
+		t.Fatal("second Put replaced the entry")
+	}
+	// Keys that are not hex digests never touch the filesystem.
+	st.Put("../escape", blob)
+	if _, ok := st.Get("../escape"); ok {
+		t.Fatal("invalid key stored")
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "..", "escape")); err == nil {
+		t.Fatal("invalid key escaped the data dir")
+	}
+	stats := st.Stats()
+	if stats.Stores != 1 || stats.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 store and 2 hits", stats)
+	}
+}
+
+// TestStoreCorruptEntries pins recovery: truncated payloads, checksum
+// mismatches, and foreign files are all discarded as misses (and deleted,
+// so the next Put heals them) instead of being served.
+func TestStoreCorruptEntries(t *testing.T) {
+	st, err := NewStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := json.RawMessage(`{"id":"report"}`)
+	corruptions := []struct {
+		name    string
+		corrupt func(path string)
+	}{
+		{"truncated payload", func(path string) {
+			data, _ := os.ReadFile(path)
+			os.WriteFile(path, data[:len(data)-4], 0o644)
+		}},
+		{"flipped payload byte", func(path string) {
+			data, _ := os.ReadFile(path)
+			data[len(data)-2] ^= 0xff
+			os.WriteFile(path, data, 0o644)
+		}},
+		{"foreign file", func(path string) {
+			os.WriteFile(path, []byte("not a store entry at all\n"), 0o644)
+		}},
+		{"empty file", func(path string) {
+			os.WriteFile(path, nil, 0o644)
+		}},
+	}
+	for i, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			key := testKey(byte(i + 1))
+			st.Put(key, blob)
+			path := filepath.Join(st.Dir(), key[:2], key)
+			tc.corrupt(path)
+			if got, ok := st.Get(key); ok {
+				t.Fatalf("corrupt entry served: %q", got)
+			}
+			if _, err := os.Stat(path); err == nil {
+				t.Fatal("corrupt entry not deleted")
+			}
+			// The next Put rewrites the entry clean.
+			st.Put(key, blob)
+			if got, ok := st.Get(key); !ok || !bytes.Equal(got, blob) {
+				t.Fatalf("entry did not heal: %q, %v", got, ok)
+			}
+		})
+	}
+	if st.Stats().CorruptDropped != int64(len(corruptions)) {
+		t.Fatalf("corrupt_dropped = %d, want %d", st.Stats().CorruptDropped, len(corruptions))
+	}
+}
+
+// restartSpec is the durability test sweep: two unique config-sensitive
+// runs, small enough to simulate quickly.
+const restartSpec = `{
+	"scenario": "covert-pnm",
+	"scale": "quick",
+	"grid": {"llc_bytes": [4194304, 8388608]}
+}`
+
+// TestServerRestartDurability is the acceptance-criteria test for the
+// durable store: a server restarted on the same data dir (modeled as a
+// fresh engine over the same directory) serves a previously computed
+// sweep with X-Cache: hit and a byte-identical body, without
+// re-simulating — and the disk path changes no response byte versus
+// memory or a cold simulation.
+func TestServerRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	dir := filepath.Join(t.TempDir(), "data")
+
+	st1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := NewServer(NewEngineWithStore(st1), 2, 0).Handler()
+	cold := doRequest(t, h1, http.MethodPost, "/v1/run", restartSpec)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold POST = %d: %s", cold.Code, cold.Body)
+	}
+	if got := cold.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold POST X-Cache = %q, want miss", got)
+	}
+	warm := doRequest(t, h1, http.MethodPost, "/v1/run", restartSpec)
+	if got := warm.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("warm POST X-Cache = %q, want hit", got)
+	}
+
+	// "Restart": a brand-new engine over the same data dir. Its memory
+	// cache is empty, so every hit below came off disk.
+	st2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngineWithStore(st2)
+	h2 := NewServer(eng2, 2, 0).Handler()
+	restarted := doRequest(t, h2, http.MethodPost, "/v1/run", restartSpec)
+	if restarted.Code != http.StatusOK {
+		t.Fatalf("restarted POST = %d: %s", restarted.Code, restarted.Body)
+	}
+	if got := restarted.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("restarted POST X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), restarted.Body.Bytes()) {
+		t.Fatal("disk-served response is not byte-identical to the cold response")
+	}
+	if c := eng2.Cache().Stats().Computes; c != 0 {
+		t.Fatalf("restarted engine simulated %d runs, want 0", c)
+	}
+	if hits := st2.Stats().Hits; hits != 2 {
+		t.Fatalf("store hits = %d, want 2 (one per unique run)", hits)
+	}
+
+	// A second request on the restarted engine is a pure memory hit: the
+	// disk entries were promoted, not re-read.
+	doRequest(t, h2, http.MethodPost, "/v1/run", restartSpec)
+	if hits := st2.Stats().Hits; hits != 2 {
+		t.Fatalf("store hits grew to %d on a memory-warm request", hits)
+	}
+
+	// The cold path with no store at all also produces the same bytes.
+	pure := doRequest(t, NewServer(NewEngine(), 2, 0).Handler(), http.MethodPost, "/v1/run", restartSpec)
+	if !bytes.Equal(pure.Body.Bytes(), cold.Body.Bytes()) {
+		t.Fatal("store layering changed response bytes")
+	}
+}
+
+// TestStoreCorruptEntryReSimulates pins end-to-end healing: corrupting
+// one stored report downgrades exactly that run to a re-simulation on the
+// next cold-memory lookup, with the response still byte-identical.
+func TestStoreCorruptEntryReSimulates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	dir := filepath.Join(t.TempDir(), "data")
+	st1, _ := NewStore(dir)
+	eng1 := NewEngineWithStore(st1)
+	spec, err := ParseSpec([]byte(restartSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := eng1.RunSpec(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the first run's entry on disk.
+	key := first.Runs[0].Key
+	path := filepath.Join(dir, key[:2], key)
+	if err := os.WriteFile(path, []byte("impactstore1 3 deadbeef\nxxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _ := NewStore(dir)
+	eng2 := NewEngineWithStore(st2)
+	second, err := eng2.RunSpec(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Hits != 1 || second.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d after corrupting one of two entries, want 1/1", second.Hits, second.Misses)
+	}
+	if st2.Stats().CorruptDropped != 1 {
+		t.Fatalf("corrupt_dropped = %d, want 1", st2.Stats().CorruptDropped)
+	}
+	firstJSON, _ := json.Marshal(first)
+	secondJSON, _ := json.Marshal(second)
+	if !bytes.Equal(firstJSON, secondJSON) {
+		t.Fatal("re-simulated sweep differs from the original")
+	}
+	// The re-simulation wrote the entry back clean.
+	if _, ok := st2.Get(key); !ok {
+		t.Fatal("healed entry missing from the store")
+	}
+}

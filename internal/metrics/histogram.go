@@ -10,9 +10,10 @@ import (
 // overflow bucket. Bounds are fixed at construction, so observing is one
 // binary search plus one padded atomic add.
 type histogram struct {
-	bounds []int64
-	counts []slot
-	sum    slot
+	bounds   []int64
+	counts   []slot
+	sum      slot
+	negative slot
 }
 
 // newHistogram builds a histogram over sorted inclusive upper bounds.
@@ -23,8 +24,15 @@ func newHistogram(bounds []int64) *histogram {
 	}
 }
 
-// observe records one sample.
+// observe records one sample. Negative values (clock skew, upstream
+// arithmetic underflow) are not real durations: they clamp to zero so the
+// sum and the lowest bucket stay meaningful, and the clamp is counted so
+// it is visible in snapshots rather than silently folded in.
 func (h *histogram) observe(v int64) {
+	if v < 0 {
+		h.negative.v.Add(1)
+		v = 0
+	}
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
 	h.counts[i].v.Add(1)
 	h.sum.v.Add(v)
@@ -33,25 +41,32 @@ func (h *histogram) observe(v int64) {
 // snapshot copies the current bucket counts.
 func (h *histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Bounds: h.bounds,
-		Counts: make([]int64, len(h.counts)),
-		Sum:    h.sum.v.Load(),
+		Bounds:   h.bounds,
+		Counts:   make([]int64, len(h.counts)),
+		Sum:      h.sum.v.Load(),
+		Negative: h.negative.v.Load(),
 	}
 	for i := range h.counts {
 		c := h.counts[i].v.Load()
 		s.Counts[i] = c
 		s.Count += c
 	}
+	s.Overflow = s.Counts[len(s.Counts)-1]
 	return s
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram. Counts has one
-// more entry than Bounds (the trailing overflow bucket).
+// more entry than Bounds (the trailing overflow bucket, surfaced again as
+// Overflow so consumers need not know the layout). Negative counts
+// samples that arrived below zero and were clamped into the lowest bucket
+// as zero; both edges are included in Count.
 type HistogramSnapshot struct {
-	Bounds []int64
-	Counts []int64
-	Count  int64
-	Sum    int64
+	Bounds   []int64
+	Counts   []int64
+	Count    int64
+	Sum      int64
+	Overflow int64
+	Negative int64
 }
 
 // Mean returns the average observed value, or 0 with no samples.
@@ -64,9 +79,11 @@ func (s HistogramSnapshot) Mean() float64 {
 
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
 // interpolation inside the bucket holding the target rank; samples in the
-// overflow bucket are attributed to the highest bound. Returns 0 with no
-// samples. Resolution is bounded by the bucket ladder — with the 1-2-5
-// LatencyBounds ladder estimates land within the enclosing bucket's span.
+// overflow bucket are attributed to the highest bound (their true value
+// is unknowable, but Overflow makes the attribution visible). Returns 0
+// with no samples. Resolution is bounded by the bucket ladder — with the
+// 1-2-5 LatencyBounds ladder estimates land within the enclosing bucket's
+// span.
 func (s HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 || len(s.Bounds) == 0 {
 		return 0

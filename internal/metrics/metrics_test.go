@@ -109,6 +109,68 @@ func TestQuantile(t *testing.T) {
 	snap.Quantile(2)
 }
 
+// TestHistogramOverflowExposed pins the overflow edge: samples beyond the
+// top bound are counted in an explicit Overflow field, so a consumer can
+// tell "p99 = 400 because the data says so" apart from "p99 = 400 because
+// the ladder tops out there".
+func TestHistogramOverflowExposed(t *testing.T) {
+	s := NewSet()
+	h := s.AddHistogram("lat", []int64{100, 200, 400})
+	s.Observe(h, 50)
+	s.Observe(h, 300)
+	snap := s.Histogram(h)
+	if snap.Overflow != 0 {
+		t.Fatalf("overflow = %d with all samples in range, want 0", snap.Overflow)
+	}
+	s.Observe(h, 401)
+	s.Observe(h, 1<<40)
+	snap = s.Histogram(h)
+	if snap.Overflow != 2 {
+		t.Fatalf("overflow = %d, want 2", snap.Overflow)
+	}
+	if snap.Overflow != snap.Counts[len(snap.Counts)-1] {
+		t.Fatalf("Overflow %d disagrees with the overflow bucket %d", snap.Overflow, snap.Counts[len(snap.Counts)-1])
+	}
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want overflow samples included", snap.Count)
+	}
+	// Overflow samples still report the top bound in quantiles.
+	if got := snap.Quantile(1); got != 400 {
+		t.Fatalf("max quantile = %d, want top bound 400", got)
+	}
+}
+
+// TestHistogramNegativeClamp pins the other edge: negative observations
+// (clock skew) clamp to zero — landing in the lowest bucket without
+// dragging the sum negative — and are counted so the clamping is visible.
+func TestHistogramNegativeClamp(t *testing.T) {
+	s := NewSet()
+	h := s.AddHistogram("lat", []int64{100, 200})
+	s.Observe(h, -50)
+	s.Observe(h, -1)
+	s.Observe(h, 150)
+	snap := s.Histogram(h)
+	if snap.Negative != 2 {
+		t.Fatalf("negative = %d, want 2", snap.Negative)
+	}
+	if snap.Counts[0] != 2 {
+		t.Fatalf("lowest bucket = %d, want the clamped samples (2)", snap.Counts[0])
+	}
+	if snap.Count != 3 {
+		t.Fatalf("count = %d, want clamped samples included", snap.Count)
+	}
+	if snap.Sum != 150 {
+		t.Fatalf("sum = %d, want 150 (clamped samples contribute 0, not their negative value)", snap.Sum)
+	}
+	if snap.Mean() != 50 {
+		t.Fatalf("mean = %f, want 50", snap.Mean())
+	}
+	// A histogram that never saw a negative sample reports zero.
+	if s.Histogram(s.AddHistogram("clean", []int64{10})).Negative != 0 {
+		t.Fatal("phantom negative count")
+	}
+}
+
 // TestGroups pins the labeled-block addressing: (label, slot) pairs map
 // to independent counters and each label owns its histogram.
 func TestGroups(t *testing.T) {
