@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke loadtest-smoke loadtest jobs-smoke
+.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke
 
-ci: fmt vet build test race sweep-smoke loadtest-smoke jobs-smoke bench-smoke
+ci: fmt vet build test race sweep-smoke client-smoke loadtest-smoke jobs-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -18,12 +18,14 @@ test:
 	$(GO) test ./...
 
 # The parallel experiment runners, the sharded+deduped result cache, the
-# async job lifecycle, the durable store, and the lock-free metrics must
-# stay race-clean and deterministic.
+# async job lifecycle (including DELETE-races-the-worker-pool
+# cancellation), the durable store, the lock-free metrics, and the Go SDK
+# must stay race-clean and deterministic.
 race:
 	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
 	$(GO) test -race ./internal/metrics
 	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore'
+	$(GO) test -race ./pkg/client
 
 # Quick regression signal on the allocation-free hot path.
 bench-smoke:
@@ -54,6 +56,21 @@ jobs-smoke:
 	@tmp=$$(mktemp -d); \
 	$(GO) run ./cmd/impact-bench -inprocess -jobs -data-dir $$tmp/store -workers 8 -requests 32 -run-frac 1 -cold 0.1 -smoke; \
 	status=$$?; rm -rf $$tmp; exit $$status
+
+# Drive a full sweep through pkg/client against an in-process server —
+# impact-sweep's default mode is exactly that path — so the SDK, the
+# typed pkg/api contract, and the server stay wired together end to end.
+client-smoke:
+	@tmp=$$(mktemp -d); status=1; \
+	if $(GO) run ./cmd/impact-sweep -spec examples/sweep-llc.json -json > $$tmp/sweep.json; then \
+		if $(GO) run ./cmd/impact-sweep -spec examples/sweep-llc.json -json > $$tmp/sweep2.json \
+		&& cmp $$tmp/sweep.json $$tmp/sweep2.json; then \
+			echo "client-smoke: pkg/client sweep reproducible against an in-process server"; status=0; \
+		else \
+			echo "client-smoke: repeated pkg/client sweeps differ"; \
+		fi; \
+	fi; \
+	rm -rf $$tmp; exit $$status
 
 # The sweep CLI must produce byte-identical output regardless of the
 # worker count (every run is deterministic and content-addressed).

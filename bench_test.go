@@ -669,13 +669,13 @@ func BenchmarkServerRun(b *testing.B) {
 
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			h := exp.NewServer(exp.NewEngine(), 0, 0).Handler()
+			h := exp.NewServer(exp.NewEngine()).Handler()
 			post(b, h)
 		}
 	})
 
 	b.Run("cached", func(b *testing.B) {
-		h := exp.NewServer(exp.NewEngine(), 0, 0).Handler()
+		h := exp.NewServer(exp.NewEngine()).Handler()
 		warm := post(b, h) // prime the cache outside the timed loop
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -694,7 +694,7 @@ func BenchmarkServerRun(b *testing.B) {
 	// the metrics middleware rather than the simulator. Responses must stay
 	// byte-identical to the primed response under contention.
 	b.Run("cached-parallel", func(b *testing.B) {
-		h := exp.NewServer(exp.NewEngine(), 0, 0).Handler()
+		h := exp.NewServer(exp.NewEngine()).Handler()
 		warm := post(b, h)
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {

@@ -1,8 +1,10 @@
-// Command impact-bench is a concurrent load generator for impact-server.
-// It fires a configurable mix of POST /v1/run and GET /v1/figures/{id}
-// requests from a pool of workers and reports QPS, client-observed cache
-// hit rate, and latency percentiles (p50/p90/p99, estimated from
-// internal/metrics fixed-bucket histograms) as text or JSON.
+// Command impact-bench is a concurrent load generator for impact-server,
+// driving the typed v1 API through the pkg/client SDK (retries disabled —
+// a load generator must observe failures, not paper over them). It fires
+// a configurable mix of POST /v1/run and GET /v1/figures/{id} requests
+// from a pool of workers and reports QPS, client-observed cache hit rate,
+// and latency percentiles (p50/p90/p99, estimated from internal/metrics
+// fixed-bucket histograms) as text or JSON.
 //
 // The run mix can be split cold/warm: a warm request repeats the base spec
 // (content-addressed, so it is served from the result cache after the
@@ -17,9 +19,8 @@
 //
 // With -jobs the run slice of the mix exercises the asynchronous job API
 // instead of the synchronous /v1/run: each op submits the spec to POST
-// /v1/jobs, drains GET /v1/jobs/{id}/stream (NDJSON, one RunResult per
-// line), and polls GET /v1/jobs/{id} to the terminal status, classifying
-// hit/miss from the job's cache counts.
+// /v1/jobs, drains the NDJSON result stream, and waits for the terminal
+// status, classifying hit/miss from the job's cache counts.
 //
 // With -inprocess the tool spins up an exp.Server on a loopback listener
 // and load-tests that, so a one-command smoke run needs no external
@@ -31,8 +32,9 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,13 +42,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
 // defaultSpec is the built-in quick-scale sweep used when -spec is not
@@ -94,8 +97,7 @@ func newBenchMetrics() *metrics.Groups {
 // config is the parsed flag set.
 type config struct {
 	base     string
-	spec     []byte
-	specDoc  map[string]any // parsed spec, template for cold variants
+	spec     api.RunSpec // template for warm requests and cold variants
 	figure   string
 	workers  int
 	duration time.Duration
@@ -118,7 +120,7 @@ func run(args []string, stdout io.Writer) error {
 	requests := fs.Int64("requests", 0, "total request budget (0 = run for -duration)")
 	runFrac := fs.Float64("run-frac", 0.5, "fraction of requests that POST /v1/run (rest GET the figure)")
 	coldFrac := fs.Float64("cold", 0, "fraction of run requests forced cold via a unique noise.seed config patch")
-	jobs := fs.Bool("jobs", false, "drive run requests through the async job API (submit, stream, poll)")
+	jobs := fs.Bool("jobs", false, "drive run requests through the async job API (submit, stream, wait)")
 	inprocess := fs.Bool("inprocess", false, "load-test an in-process server on a loopback listener")
 	dataDir := fs.String("data-dir", "", "with -inprocess: durable result store directory for the in-process server")
 	jsonOut := fs.Bool("json", false, "print the summary as JSON")
@@ -157,35 +159,33 @@ func run(args []string, stdout io.Writer) error {
 		jsonOut:  *jsonOut,
 		smoke:    *smoke,
 	}
-	cfg.spec = []byte(defaultSpec)
+	specBlob := []byte(defaultSpec)
 	if *specPath != "" {
 		blob, err := os.ReadFile(*specPath)
 		if err != nil {
 			return err
 		}
-		cfg.spec = blob
+		specBlob = blob
 	}
-	if err := json.Unmarshal(cfg.spec, &cfg.specDoc); err != nil {
-		return fmt.Errorf("spec is not a JSON object: %v", err)
+	var err error
+	if cfg.spec, err = api.ParseRunSpec(specBlob); err != nil {
+		return err
 	}
 
 	if *inprocess {
-		engine := exp.NewEngine()
+		var engineOpts []exp.EngineOption
 		if *dataDir != "" {
 			store, err := exp.NewStore(*dataDir)
 			if err != nil {
 				return err
 			}
-			engine = exp.NewEngineWithStore(store)
+			engineOpts = append(engineOpts, exp.WithStore(store))
 		}
-		ts := httptest.NewServer(exp.NewServer(engine, 0, 0).Handler())
+		ts := httptest.NewServer(exp.NewServer(exp.NewEngine(engineOpts...)).Handler())
 		defer ts.Close()
 		cfg.base = ts.URL
 	} else {
 		cfg.base = *addr
-		if !strings.Contains(cfg.base, "://") {
-			cfg.base = "http://" + cfg.base
-		}
 	}
 
 	sum, err := drive(cfg)
@@ -214,25 +214,30 @@ func run(args []string, stdout io.Writer) error {
 
 // coldSpec returns the base spec with a unique noise.seed patched into its
 // config, so the run misses the content-addressed cache by construction.
-func coldSpec(doc map[string]any, n int64) ([]byte, error) {
-	patched := make(map[string]any, len(doc)+1)
-	for k, v := range doc {
+// The template is never mutated.
+func coldSpec(spec api.RunSpec, n int64) (api.RunSpec, error) {
+	cfg := map[string]any{}
+	if len(spec.Config) > 0 {
+		if err := json.Unmarshal(spec.Config, &cfg); err != nil {
+			return api.RunSpec{}, fmt.Errorf("spec config is not a JSON object: %v", err)
+		}
+		if cfg == nil { // "config": null unmarshals to a nil map
+			cfg = map[string]any{}
+		}
+	}
+	noise, _ := cfg["noise"].(map[string]any)
+	patched := make(map[string]any, len(noise)+1)
+	for k, v := range noise {
 		patched[k] = v
 	}
-	cfgField, _ := patched["config"].(map[string]any)
-	cfg := make(map[string]any, len(cfgField)+1)
-	for k, v := range cfgField {
-		cfg[k] = v
+	patched["seed"] = n
+	cfg["noise"] = patched
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return api.RunSpec{}, err
 	}
-	noiseField, _ := cfg["noise"].(map[string]any)
-	noise := make(map[string]any, len(noiseField)+1)
-	for k, v := range noiseField {
-		noise[k] = v
-	}
-	noise["seed"] = n
-	cfg["noise"] = noise
-	patched["config"] = cfg
-	return json.Marshal(patched)
+	spec.Config = blob
+	return spec, nil
 }
 
 // drive fires the configured load and aggregates the results.
@@ -241,12 +246,21 @@ func drive(cfg config) (*summary, error) {
 	// The default transport pools only 2 idle connections per host, which
 	// would make every worker beyond the second pay connection churn —
 	// a client-side artifact in the numbers this tool exists to measure.
-	client := &http.Client{
-		Timeout: 5 * time.Minute,
-		Transport: &http.Transport{
-			MaxIdleConns:        cfg.workers,
-			MaxIdleConnsPerHost: cfg.workers,
-		},
+	// Retries are disabled for the same reason: a load generator reports
+	// failures, it does not mask them.
+	c, err := client.New(cfg.base,
+		client.WithHTTPClient(&http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.workers,
+				MaxIdleConnsPerHost: cfg.workers,
+			},
+		}),
+		client.WithTimeout(0),
+		client.WithRetry(0, 0),
+		client.WithPollInterval(time.Millisecond))
+	if err != nil {
+		return nil, err
 	}
 
 	var issued atomic.Int64  // budget mode: claimed request slots
@@ -274,11 +288,11 @@ func drive(cfg config) (*summary, error) {
 				var err error
 				switch {
 				case rng.Float64() >= cfg.runFrac:
-					err = doFigure(client, cfg, met)
+					err = doFigure(c, cfg, met)
 				case cfg.jobs:
-					err = doJob(client, cfg, met, rng, &coldSeq)
+					err = doJob(c, cfg, met, rng, &coldSeq)
 				default:
-					err = doRun(client, cfg, met, rng, &coldSeq)
+					err = doRun(c, cfg, met, rng, &coldSeq)
 				}
 				if err != nil {
 					errs[w] = err
@@ -315,100 +329,106 @@ func observe(met *metrics.Groups, op opKind, d time.Duration, status int, xcache
 	}
 }
 
-// doRun fires one POST /v1/run, cold or warm per the configured ratio.
-func doRun(client *http.Client, cfg config, met *metrics.Groups, rng *rand.Rand, coldSeq *atomic.Int64) error {
-	body := cfg.spec
-	if cfg.coldFrac > 0 && rng.Float64() < cfg.coldFrac {
-		var err error
-		if body, err = coldSpec(cfg.specDoc, coldSeq.Add(1)); err != nil {
-			return err
-		}
+// apiStatus extracts the HTTP status of a server-rejected request; ok is
+// false for transport-level failures, which abort the worker (they are a
+// harness problem, not a server measurement).
+func apiStatus(err error) (int, bool) {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		return apiErr.HTTPStatus, true
 	}
-	start := time.Now()
-	resp, err := client.Post(cfg.base+"/v1/run", "application/json", bytes.NewReader(body))
+	return 0, false
+}
+
+// benchSpec picks this op's spec: the warm template or a cold variant.
+func benchSpec(cfg config, rng *rand.Rand, coldSeq *atomic.Int64) (api.RunSpec, error) {
+	if cfg.coldFrac > 0 && rng.Float64() < cfg.coldFrac {
+		return coldSpec(cfg.spec, coldSeq.Add(1))
+	}
+	return cfg.spec, nil
+}
+
+// doRun fires one POST /v1/run, cold or warm per the configured ratio.
+func doRun(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, coldSeq *atomic.Int64) error {
+	spec, err := benchSpec(cfg, rng, coldSeq)
 	if err != nil {
 		return err
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	observe(met, opRun, time.Since(start), resp.StatusCode, resp.Header.Get("X-Cache"))
+	start := time.Now()
+	_, cache, err := c.Run(context.Background(), spec)
+	if err != nil {
+		status, ok := apiStatus(err)
+		if !ok {
+			return err
+		}
+		observe(met, opRun, time.Since(start), status, "")
+		return nil
+	}
+	observe(met, opRun, time.Since(start), http.StatusOK, cache.State)
 	return nil
 }
 
 // doJob drives one full async-job lifecycle: submit the spec (cold or
 // warm per the configured ratio), drain the NDJSON result stream, then
-// poll to the terminal status and classify hit/miss from the job's cache
+// wait for the terminal status and classify hit/miss from the job's cache
 // counts. The observed latency covers the whole lifecycle, which is the
 // number a client of the async API actually experiences.
-func doJob(client *http.Client, cfg config, met *metrics.Groups, rng *rand.Rand, coldSeq *atomic.Int64) error {
-	body := cfg.spec
-	if cfg.coldFrac > 0 && rng.Float64() < cfg.coldFrac {
-		var err error
-		if body, err = coldSpec(cfg.specDoc, coldSeq.Add(1)); err != nil {
-			return err
-		}
-	}
-	start := time.Now()
-	resp, err := client.Post(cfg.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+func doJob(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, coldSeq *atomic.Int64) error {
+	spec, err := benchSpec(cfg, rng, coldSeq)
 	if err != nil {
 		return err
 	}
-	var sub struct {
-		ID string `json:"id"`
-	}
-	decErr := json.NewDecoder(resp.Body).Decode(&sub)
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted || decErr != nil || sub.ID == "" {
-		status := resp.StatusCode
-		if status < 400 {
-			status = http.StatusInternalServerError
+	ctx := context.Background()
+	start := time.Now()
+	sub, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		status, ok := apiStatus(err)
+		if !ok {
+			return err
 		}
 		observe(met, opRun, time.Since(start), status, "")
 		return nil
 	}
 
-	stream, err := client.Get(cfg.base + "/v1/jobs/" + sub.ID + "/stream")
+	stream, err := c.StreamJob(ctx, sub.ID)
 	if err != nil {
-		return err
-	}
-	_, _ = io.Copy(io.Discard, stream.Body)
-	stream.Body.Close()
-	if stream.StatusCode != http.StatusOK {
-		observe(met, opRun, time.Since(start), stream.StatusCode, "")
-		return nil
-	}
-
-	// The stream ends when the last run is emitted; the terminal status
-	// lands moments later, so the poll loop normally exits first try.
-	var info struct {
-		Status string `json:"status"`
-		Hits   int    `json:"hits"`
-		Misses int    `json:"misses"`
-	}
-	for i := 0; i < 1000; i++ {
-		poll, err := client.Get(cfg.base + "/v1/jobs/" + sub.ID)
-		if err != nil {
+		status, ok := apiStatus(err)
+		if !ok {
 			return err
 		}
-		decErr := json.NewDecoder(poll.Body).Decode(&info)
-		_, _ = io.Copy(io.Discard, poll.Body)
-		pollStatus := poll.StatusCode
-		poll.Body.Close()
-		if pollStatus != http.StatusOK {
-			observe(met, opRun, time.Since(start), pollStatus, "")
-			return nil
-		}
-		if decErr != nil {
-			return decErr
-		}
-		if info.Status == "done" || info.Status == "failed" {
+		observe(met, opRun, time.Since(start), status, "")
+		return nil
+	}
+	for {
+		_, err := stream.Next()
+		if err == io.EOF {
 			break
 		}
-		time.Sleep(time.Millisecond)
+		if err != nil {
+			// A trailing error line means the sweep failed; the terminal
+			// status below classifies that. Transport failures abort.
+			if _, ok := apiStatus(err); !ok {
+				stream.Close()
+				return err
+			}
+			break
+		}
+	}
+	stream.Close()
+
+	// The stream ends when the last run is emitted; the terminal status
+	// lands moments later, so the wait normally returns first poll.
+	info, err := c.WaitJob(ctx, sub.ID)
+	if err != nil {
+		status, ok := apiStatus(err)
+		if !ok {
+			return err
+		}
+		observe(met, opRun, time.Since(start), status, "")
+		return nil
 	}
 	status := http.StatusOK
-	if info.Status != "done" {
+	if info.Status != api.JobDone {
 		status = http.StatusInternalServerError
 	}
 	xcache := "miss"
@@ -423,15 +443,18 @@ func doJob(client *http.Client, cfg config, met *metrics.Groups, rng *rand.Rand,
 }
 
 // doFigure fires one GET /v1/figures/{id}.
-func doFigure(client *http.Client, cfg config, met *metrics.Groups) error {
+func doFigure(c *client.Client, cfg config, met *metrics.Groups) error {
 	start := time.Now()
-	resp, err := client.Get(cfg.base + "/v1/figures/" + cfg.figure)
+	_, cache, err := c.Figure(context.Background(), cfg.figure, "")
 	if err != nil {
-		return err
+		status, ok := apiStatus(err)
+		if !ok {
+			return err
+		}
+		observe(met, opFigure, time.Since(start), status, "")
+		return nil
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	observe(met, opFigure, time.Since(start), resp.StatusCode, resp.Header.Get("X-Cache"))
+	observe(met, opFigure, time.Since(start), http.StatusOK, cache.State)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/exp"
+	"repro/pkg/api"
 )
 
 // TestBenchBudgetRun drives a small request budget against an in-process
@@ -16,7 +17,7 @@ func TestBenchBudgetRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulating sweeps in -short mode")
 	}
-	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 2, 0).Handler())
+	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), exp.WithWorkers(2)).Handler())
 	defer ts.Close()
 
 	var out bytes.Buffer
@@ -72,7 +73,7 @@ func TestBenchColdRequests(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulating sweeps in -short mode")
 	}
-	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), 2, 0).Handler())
+	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), exp.WithWorkers(2)).Handler())
 	defer ts.Close()
 
 	var out bytes.Buffer
@@ -103,18 +104,14 @@ func TestBenchColdRequests(t *testing.T) {
 // TestColdSpecPatch pins the cold-variant construction: the patch adds a
 // unique seed without clobbering sibling config fields or the template.
 func TestColdSpecPatch(t *testing.T) {
-	var doc map[string]any
-	base := `{"scenario": "covert-pnm", "config": {"noise": {"events_per_mcycle": 2}, "llc_ways": 8}}`
-	if err := json.Unmarshal([]byte(base), &doc); err != nil {
-		t.Fatal(err)
-	}
-	blob, err := coldSpec(doc, 42)
+	base, err := api.ParseRunSpec([]byte(
+		`{"scenario": "covert-pnm", "config": {"noise": {"events_per_mcycle": 2}, "llc_ways": 8}}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := exp.ParseSpec(blob)
+	patched, err := coldSpec(base, 42)
 	if err != nil {
-		t.Fatalf("patched spec invalid: %v\n%s", err, blob)
+		t.Fatal(err)
 	}
 	var cfg struct {
 		Noise struct {
@@ -123,21 +120,29 @@ func TestColdSpecPatch(t *testing.T) {
 		} `json:"noise"`
 		Ways int `json:"llc_ways"`
 	}
-	if err := json.Unmarshal(spec.Config, &cfg); err != nil {
+	if err := json.Unmarshal(patched.Config, &cfg); err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Noise.Seed != 42 || cfg.Noise.Noise != 2 || cfg.Ways != 8 {
-		t.Fatalf("patch mangled the config: %s", blob)
+		t.Fatalf("patch mangled the config: %s", patched.Config)
 	}
-	// Distinct seeds produce distinct documents; the template is untouched.
-	blob2, err := coldSpec(doc, 43)
+	// The patched document still parses as a valid spec server-side.
+	blob, err := json.Marshal(patched)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bytes.Equal(blob, blob2) {
+	if _, err := exp.ParseSpec(blob); err != nil {
+		t.Fatalf("patched spec invalid: %v\n%s", err, blob)
+	}
+	// Distinct seeds produce distinct documents; the template is untouched.
+	patched2, err := coldSpec(base, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(patched.Config, patched2.Config) {
 		t.Fatal("distinct seeds produced identical specs")
 	}
-	if _, ok := doc["config"].(map[string]any)["noise"].(map[string]any)["seed"]; ok {
+	if bytes.Contains(base.Config, []byte(`"seed"`)) {
 		t.Fatal("coldSpec mutated the shared template")
 	}
 }

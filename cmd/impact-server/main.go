@@ -1,11 +1,13 @@
-// Command impact-server serves the experiment engine over HTTP: POST
-// /v1/run executes a declarative sweep spec (see internal/exp.Spec), POST
-// /v1/jobs enqueues one as an asynchronous job (polled on GET
+// Command impact-server serves the experiment engine over HTTP, speaking
+// the typed v1 contract defined in pkg/api (drive it with pkg/client):
+// POST /v1/run executes a declarative sweep spec (see api.RunSpec), POST
+// /v1/jobs enqueues one as an asynchronous job (listed newest-first on
+// GET /v1/jobs, polled on GET /v1/jobs/{id}, canceled with DELETE
 // /v1/jobs/{id}, streamed as NDJSON on GET /v1/jobs/{id}/stream), GET
 // /v1/figures/{id} replays one paper artifact, GET /v1/scenarios lists the
 // registry, GET /v1/metrics reports per-route request counters plus
-// cache/store/job statistics, and GET /healthz reports cache hit/miss
-// counters. Because the simulator is deterministic, every report is
+// cache/store/job statistics, and GET /healthz reports build info and
+// cache hit/miss counters. Because the simulator is deterministic, every report is
 // content-addressed and served from the sharded result cache after its
 // first computation, with identical in-flight requests deduplicated onto
 // one simulation; with -data-dir the cache is additionally backed by a
@@ -51,15 +53,16 @@ func run(args []string, ready chan<- string) error {
 		return fmt.Errorf("negative job bound %d", *maxJobs)
 	}
 
-	engine := exp.NewEngine()
+	var engineOpts []exp.EngineOption
 	if *dataDir != "" {
 		store, err := exp.NewStore(*dataDir)
 		if err != nil {
 			return err
 		}
-		engine = exp.NewEngineWithStore(store)
+		engineOpts = append(engineOpts, exp.WithStore(store))
 		fmt.Fprintf(os.Stderr, "impact-server: durable result store at %s\n", store.Dir())
 	}
+	engine := exp.NewEngine(engineOpts...)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -72,7 +75,7 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	srv := &http.Server{
-		Handler: exp.NewServer(engine, *workers, *maxJobs).Handler(),
+		Handler: exp.NewServer(engine, exp.WithWorkers(*workers), exp.WithMaxJobs(*maxJobs)).Handler(),
 		// Bound how long a client may dribble headers/body so stalled
 		// connections cannot pin goroutines and file descriptors.
 		ReadHeaderTimeout: 10 * time.Second,

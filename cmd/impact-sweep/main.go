@@ -1,19 +1,27 @@
 // Command impact-sweep runs a declarative experiment sweep from a JSON
-// spec file (see internal/exp.Spec and examples/sweep-llc.json): the grid
-// is expanded into concrete runs, sharded over a worker pool, and every
-// report is printed in expansion order. Output is a pure function of the
-// spec — the worker count and cache state cannot change a byte — and the
-// run summary (cache hits vs. simulated runs) goes to stderr.
+// spec file (see pkg/api.RunSpec and examples/sweep-llc.json) through the
+// typed v1 API: the spec is parsed into the shared wire types, submitted
+// via the pkg/client SDK, and every report is printed in expansion order.
+// By default the tool spins up an in-process server on a loopback
+// listener and drives that — a self-contained, one-command sweep — while
+// -addr points it at a running impact-server instead. Output is a pure
+// function of the spec — the worker count and cache state cannot change a
+// byte — and the run summary (cache hits vs. simulated runs, from the
+// X-Cache headers) goes to stderr.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 
 	"repro/internal/exp"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -26,7 +34,8 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("impact-sweep", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "path to the sweep spec JSON file (required)")
-	workers := fs.Int("workers", 0, "simulation worker pool size (0 = all cores)")
+	addr := fs.String("addr", "", "drive a running impact-server at this base URL (default: in-process server)")
+	workers := fs.Int("workers", 0, "in-process simulation pool size (0 = all cores; ignored with -addr)")
 	asJSON := fs.Bool("json", false, "emit the full sweep result as JSON instead of text tables")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -38,16 +47,30 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	spec, err := exp.ParseSpec(data)
+	spec, err := api.ParseRunSpec(data)
 	if err != nil {
 		return err
 	}
-	res, err := exp.NewEngine().RunSpec(spec, *workers)
+
+	base := *addr
+	if base == "" {
+		if *workers < 0 {
+			return fmt.Errorf("negative worker count %d", *workers)
+		}
+		ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), exp.WithWorkers(*workers)).Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
+	c, err := client.New(base, client.WithTimeout(0))
+	if err != nil {
+		return err
+	}
+	res, cache, err := c.Run(context.Background(), spec)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "impact-sweep: %d runs, %d cache hits, %d simulated\n",
-		len(res.Runs), res.Hits, res.Misses)
+		len(res.Runs), cache.Hits, cache.Misses)
 
 	if *asJSON {
 		blob, err := json.MarshalIndent(res, "", "  ")

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/pkg/api"
 )
 
 // Fixed counter IDs for cache statistics, in the slot order passed to
@@ -254,18 +255,9 @@ func (c *Cache) Hits() int64 { return c.met.Value(cacheHits) }
 func (c *Cache) Misses() int64 { return c.met.Value(cacheMisses) }
 
 // CacheStats is a point-in-time copy of the cache counters, served on
-// /healthz and /v1/metrics. Computes counts actual simulator executions;
-// DedupHits counts callers whose identical in-flight run was coalesced
-// onto another request's computation.
-type CacheStats struct {
-	Entries   int64 `json:"entries"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Stores    int64 `json:"stores"`
-	Evictions int64 `json:"evictions"`
-	Computes  int64 `json:"computes"`
-	DedupHits int64 `json:"dedup_hits"`
-}
+// /healthz and /v1/metrics. The wire shape lives in pkg/api with the
+// rest of the v1 contract.
+type CacheStats = api.CacheStats
 
 // Stats snapshots all counters.
 func (c *Cache) Stats() CacheStats {

@@ -128,7 +128,7 @@ func TestConcurrentIdenticalRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulating sweeps in -short mode")
 	}
-	srv := NewServer(NewEngine(), 2, 0)
+	srv := NewServer(NewEngine(), WithWorkers(2))
 	h := srv.Handler()
 	spec := `{
 		"scenario": "covert-pnm",
@@ -181,7 +181,7 @@ func TestConcurrentIdenticalRuns(t *testing.T) {
 // endpoints must not touch the result cache or the per-route experiment
 // counters.
 func TestObservabilityEndpointsDoNotPollute(t *testing.T) {
-	h := NewServer(NewEngine(), 1, 0).Handler()
+	h := NewServer(NewEngine(), WithWorkers(1)).Handler()
 
 	readMetrics := func() MetricsDoc {
 		rec := doRequest(t, h, http.MethodGet, "/v1/metrics", "")

@@ -1,37 +1,43 @@
 package exp
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/figures"
+	"repro/pkg/api"
 )
 
-// RunResult is one concrete run's outcome. Cached is deliberately excluded
-// from the JSON form: two identical sweeps must serialize byte-identically
-// whether they were simulated or served from cache.
+// RunResult is one concrete run's outcome: the api.RunResult wire form
+// plus engine-side bookkeeping. Cached is deliberately excluded from the
+// JSON form: two identical sweeps must serialize byte-identically whether
+// they were simulated or served from cache.
 type RunResult struct {
-	Key      string            `json:"key"`
-	Scenario string            `json:"scenario"`
-	Scale    string            `json:"scale"`
-	Params   map[string]string `json:"params,omitempty"`
-	Report   json.RawMessage   `json:"report"`
-	Cached   bool              `json:"-"`
+	api.RunResult
+	Cached bool `json:"-"`
 }
 
-// SweepResult is the outcome of one expanded spec. Runs appear in
-// expansion order. Hits and Misses count this invocation's unique-key
-// cache lookups (excluded from JSON for the same reason as Cached).
+// SweepResult is the outcome of one expanded spec, marshaling exactly as
+// api.SweepResult. Runs appear in expansion order. Hits and Misses count
+// this invocation's unique-key cache lookups (excluded from JSON for the
+// same reason as Cached).
 type SweepResult struct {
 	SpecKey string      `json:"spec_key"`
 	Runs    []RunResult `json:"runs"`
 	Hits    int         `json:"-"`
 	Misses  int         `json:"-"`
 }
+
+// ErrSweepCanceled tags sweeps cut short by context cancellation — a
+// DELETE on the owning job, or a synchronous client disconnecting. Runs
+// that finished before the cancellation remain cached.
+var ErrSweepCanceled = errors.New("exp: sweep canceled")
 
 // Engine expands specs and schedules their runs over a bounded worker
 // pool, memoizing every report in a shared content-addressed cache. Safe
@@ -41,17 +47,25 @@ type Engine struct {
 	cache *Cache
 }
 
-// NewEngine returns an engine with an empty, memory-only cache.
-func NewEngine() *Engine {
-	return &Engine{cache: NewCache()}
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithStore layers the engine's cache over a durable disk store: lookups
+// fall through memory → disk → simulate, and every computed report is
+// written through, so a new engine over the same data dir serves
+// previously computed sweeps without re-simulating.
+func WithStore(st *Store) EngineOption {
+	return func(e *Engine) { e.cache = NewCacheWithStore(st) }
 }
 
-// NewEngineWithStore returns an engine whose cache is layered over a
-// durable disk store: lookups fall through memory → disk → simulate, and
-// every computed report is written through, so a new engine over the same
-// data dir serves previously computed sweeps without re-simulating.
-func NewEngineWithStore(st *Store) *Engine {
-	return &Engine{cache: NewCacheWithStore(st)}
+// NewEngine returns an engine with an empty, memory-only cache unless an
+// option says otherwise.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{cache: NewCache()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Cache exposes the engine's result cache (for metrics endpoints).
@@ -62,13 +76,15 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // are rejected, and the pool is clamped to the number of cache misses.
 // The result is a pure function of the spec: run order is expansion order
 // and every report is deterministic, so neither the worker count nor the
-// cache state can change a single output byte.
-func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
+// cache state can change a single output byte. Canceling ctx stops
+// scheduling new runs (in-flight simulations finish and stay cached) and
+// fails the sweep with the context's error.
+func (e *Engine) RunSpec(ctx context.Context, spec Spec, workers int) (*SweepResult, error) {
 	runs, err := spec.Expand()
 	if err != nil {
 		return nil, err
 	}
-	return e.execute(runs, workers, nil)
+	return e.execute(ctx, runs, workers, nil)
 }
 
 // execute produces every report for pre-expanded runs. When onRun is
@@ -77,9 +93,18 @@ func (e *Engine) RunSpec(spec Spec, workers int) (*SweepResult, error) {
 // goroutines at once — which is how the async job API streams results
 // while a sweep executes. The returned SweepResult is identical whether
 // or not onRun is set.
-func (e *Engine) execute(runs []Run, workers int, onRun func(int, RunResult)) (*SweepResult, error) {
+//
+// Cancellation is cooperative at run granularity: once ctx is done, no
+// further runs are handed to the pool and already-claimed runs are
+// skipped, but a simulation that already started runs to completion and
+// is cached — cancellation never wastes finished work, and it never
+// poisons the singleflight table other requests may be waiting on.
+func (e *Engine) execute(ctx context.Context, runs []Run, workers int, onRun func(int, RunResult)) (*SweepResult, error) {
 	if workers < 0 {
 		return nil, fmt.Errorf("exp: negative worker count %d", workers)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSweepCanceled, err)
 	}
 	if workers == 0 {
 		workers = runtime.NumCPU()
@@ -90,10 +115,12 @@ func (e *Engine) execute(runs []Run, workers int, onRun func(int, RunResult)) (*
 	runByKey := make(map[string]Run, len(runs))
 	for i, r := range runs {
 		out.Runs[i] = RunResult{
-			Key:      r.Key,
-			Scenario: r.Scenario,
-			Scale:    r.Scale.String(),
-			Params:   r.Params,
+			RunResult: api.RunResult{
+				Key:      r.Key,
+				Scenario: r.Scenario,
+				Scale:    r.Scale.String(),
+				Params:   r.Params,
+			},
 		}
 		if _, seen := idxByKey[r.Key]; !seen {
 			keyOrder = append(keyOrder, r.Key)
@@ -146,6 +173,12 @@ func (e *Engine) execute(runs []Run, workers int, onRun func(int, RunResult)) (*
 			go func() {
 				defer wg.Done()
 				for i := range work {
+					// A run claimed just before cancellation is skipped here
+					// rather than simulated; the cancellation check below
+					// reports the sweep canceled either way.
+					if ctx.Err() != nil {
+						continue
+					}
 					r := misses[i]
 					var blob json.RawMessage
 					blob, errs[i] = e.cache.Compute(r.Key, func() (json.RawMessage, error) {
@@ -157,11 +190,19 @@ func (e *Engine) execute(runs []Run, workers int, onRun func(int, RunResult)) (*
 				}
 			}()
 		}
+	feed:
 		for i := range misses {
-			work <- i
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(work)
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSweepCanceled, err)
+		}
 		for i, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("exp: scenario %s (%s): %w",

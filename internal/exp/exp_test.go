@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"reflect"
@@ -183,14 +184,14 @@ func TestEngineCacheAndDeterminism(t *testing.T) {
 	}
 
 	eng := NewEngine()
-	first, err := eng.RunSpec(spec, 1)
+	first, err := eng.RunSpec(context.Background(), spec, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.Hits != 0 || first.Misses != 6 {
 		t.Fatalf("cold sweep hits=%d misses=%d, want 0/6", first.Hits, first.Misses)
 	}
-	second, err := eng.RunSpec(spec, 1)
+	second, err := eng.RunSpec(context.Background(), spec, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestEngineCacheAndDeterminism(t *testing.T) {
 	}
 
 	// A fresh engine with a wide pool reproduces the same bytes.
-	wide, err := NewEngine().RunSpec(spec, 8)
+	wide, err := NewEngine().RunSpec(context.Background(), spec, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestEngineCacheAndDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.RunSpec(overlap, 2)
+	res, err := eng.RunSpec(context.Background(), overlap, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestEngineCacheAndDeterminism(t *testing.T) {
 		t.Fatalf("overlapping sweep hits=%d misses=%d, want 1/1", res.Hits, res.Misses)
 	}
 
-	if _, err := eng.RunSpec(spec, -2); err == nil {
+	if _, err := eng.RunSpec(context.Background(), spec, -2); err == nil {
 		t.Fatal("negative worker count accepted")
 	}
 }
@@ -256,7 +257,7 @@ func TestEngineDedupesWithinSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewEngine().RunSpec(spec, 2)
+	res, err := NewEngine().RunSpec(context.Background(), spec, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

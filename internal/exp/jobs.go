@@ -4,27 +4,50 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/pkg/api"
 )
 
-// Job statuses, in lifecycle order. A job is terminal once it reaches
-// JobDone or JobFailed.
+// Job statuses, in lifecycle order (re-exported from the pkg/api wire
+// contract). A job is terminal once it reaches JobDone, JobFailed, or
+// JobCanceled.
 const (
-	JobQueued  = "queued"
-	JobRunning = "running"
-	JobDone    = "done"
-	JobFailed  = "failed"
+	JobQueued   = api.JobQueued
+	JobRunning  = api.JobRunning
+	JobDone     = api.JobDone
+	JobFailed   = api.JobFailed
+	JobCanceled = api.JobCanceled
 )
+
+// JobInfo is the wire form of a job's state (see api.JobInfo).
+type JobInfo = api.JobInfo
+
+// JobsStats is the wire form of the registry counters (see api.JobsStats).
+type JobsStats = api.JobsStats
 
 // DefaultMaxJobs bounds the job registry when the caller does not choose
 // a limit.
 const DefaultMaxJobs = 256
 
+// Job listing page bounds: DefaultJobPageSize applies when the client
+// does not pass ?limit=, MaxJobPageSize clamps what it may ask for.
+const (
+	DefaultJobPageSize = 50
+	MaxJobPageSize     = 500
+)
+
 // ErrTooManyJobs tags submissions rejected because the registry is full
 // of jobs that are still queued or running (servers map it to 429).
 var ErrTooManyJobs = errors.New("exp: job registry full (all tracked jobs still queued or running)")
+
+// ErrJobCanceled is the terminal error of a canceled job: the sweep
+// stopped scheduling runs after DELETE /v1/jobs/{id}. Runs that finished
+// before the cancel remain cached.
+var ErrJobCanceled = errors.New("exp: job canceled")
 
 // Fixed counter IDs for job statistics, in the slot order passed to
 // metrics.NewSet in NewJobs.
@@ -33,6 +56,7 @@ const (
 	jobsRejected
 	jobsCompleted
 	jobsFailed
+	jobsCanceled
 	jobsRetired
 )
 
@@ -40,11 +64,17 @@ const (
 // in the background over the engine's worker pool, with per-run results
 // observable while the sweep runs. Results are retained after completion
 // (for late polls and stream replays) until the registry retires the job.
+// Cancellation travels through the job's context into Engine.execute:
+// once canceled, no further runs are scheduled and the job lands in the
+// terminal canceled state.
 type Job struct {
 	// ID names the job in the HTTP API ("job-000001", …).
 	ID string
 
-	runs []Run
+	seq    int
+	runs   []Run
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	notify    chan struct{} // closed and replaced on every state change
@@ -56,21 +86,6 @@ type Job struct {
 	misses    int // completed runs that were simulated
 	specKey   string
 	err       error
-}
-
-// JobInfo is the wire form of a job's state, served on POST /v1/jobs and
-// GET /v1/jobs/{id}. Hits and Misses count completed runs by how they
-// were served (cache vs. simulation); SpecKey and Error appear only in
-// terminal states.
-type JobInfo struct {
-	ID        string `json:"id"`
-	Status    string `json:"status"`
-	Runs      int    `json:"runs"`
-	Completed int    `json:"completed"`
-	Hits      int    `json:"hits"`
-	Misses    int    `json:"misses"`
-	SpecKey   string `json:"spec_key,omitempty"`
-	Error     string `json:"error,omitempty"`
 }
 
 // Total returns the number of concrete runs the job's spec expanded into.
@@ -95,18 +110,25 @@ func (j *Job) Info() JobInfo {
 	return info
 }
 
-// Err returns the job's failure, if any (nil while non-terminal).
+// Err returns the job's failure, if any (nil while non-terminal;
+// ErrJobCanceled after a cancel).
 func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
 }
 
+// Cancel requests cancellation. Idempotent, and a no-op once the job is
+// terminal: the context unwinds Engine.execute, which stops scheduling
+// runs, and the job reaches the terminal canceled state when the sweep's
+// in-flight runs drain. Callers observe the transition via Info/WaitRun.
+func (j *Job) Cancel() { j.cancel() }
+
 // WaitRun blocks until run i's result is available and returns it; ok is
 // false when the job reached a terminal state without producing run i
-// (a failed sweep) or ctx was canceled first. Results arrive in sweep
-// completion order internally, so waiting index by index streams them in
-// deterministic expansion order.
+// (a failed or canceled sweep) or ctx was canceled first. Results arrive
+// in sweep completion order internally, so waiting index by index streams
+// them in deterministic expansion order.
 func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
 	for {
 		j.mu.Lock()
@@ -115,7 +137,7 @@ func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
 			j.mu.Unlock()
 			return rr, true
 		}
-		if j.status == JobDone || j.status == JobFailed {
+		if api.JobTerminal(j.status) {
 			j.mu.Unlock()
 			return RunResult{}, false
 		}
@@ -151,25 +173,31 @@ func (j *Job) onRun(i int, rr RunResult) {
 	j.signal()
 }
 
-// finish moves the job to its terminal state.
+// finish moves the job to its terminal state: done on success, canceled
+// when the sweep was cut short by Cancel, failed otherwise.
 func (j *Job) finish(res *SweepResult, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err != nil {
-		j.status = JobFailed
-		j.err = err
-	} else {
+	switch {
+	case err == nil:
 		j.status = JobDone
 		j.specKey = res.SpecKey
+	case errors.Is(err, ErrSweepCanceled):
+		j.status = JobCanceled
+		j.err = ErrJobCanceled
+	default:
+		j.status = JobFailed
+		j.err = err
 	}
 	j.signal()
 }
 
-// terminal reports whether the job has finished (done or failed).
+// terminal reports whether the job has finished (done, failed, or
+// canceled).
 func (j *Job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status == JobDone || j.status == JobFailed
+	return api.JobTerminal(j.status)
 }
 
 // Jobs is a bounded registry of asynchronous sweeps over one engine.
@@ -203,7 +231,7 @@ func NewJobs(engine *Engine, workers, max int) *Jobs {
 		engine:  engine,
 		workers: workers,
 		max:     max,
-		met:     metrics.NewSet("submitted", "rejected", "completed", "failed", "retired"),
+		met:     metrics.NewSet("submitted", "rejected", "completed", "failed", "canceled", "retired"),
 		jobs:    make(map[string]*Job),
 	}
 }
@@ -226,9 +254,13 @@ func (js *Jobs) Submit(spec Spec) (*Job, error) {
 		}
 	}
 	js.seq++
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		ID:      fmt.Sprintf("job-%06d", js.seq),
+		ID:      formatJobID(js.seq),
+		seq:     js.seq,
 		runs:    runs,
+		ctx:     ctx,
+		cancel:  cancel,
 		notify:  make(chan struct{}),
 		status:  JobQueued,
 		results: make([]RunResult, len(runs)),
@@ -245,17 +277,24 @@ func (js *Jobs) Submit(spec Spec) (*Job, error) {
 
 // run executes one job to its terminal state.
 func (js *Jobs) run(j *Job) {
+	// Release the cancel context's resources once the sweep has drained,
+	// whatever the terminal state.
+	defer j.cancel()
+
 	j.mu.Lock()
 	j.status = JobRunning
 	j.signal()
 	j.mu.Unlock()
 
-	res, err := js.engine.execute(j.runs, js.workers, j.onRun)
+	res, err := js.engine.execute(j.ctx, j.runs, js.workers, j.onRun)
 	j.finish(res, err)
-	if err != nil {
-		js.met.Add(jobsFailed, 1)
-	} else {
+	switch {
+	case err == nil:
 		js.met.Add(jobsCompleted, 1)
+	case errors.Is(err, ErrSweepCanceled):
+		js.met.Add(jobsCanceled, 1)
+	default:
+		js.met.Add(jobsFailed, 1)
 	}
 }
 
@@ -283,17 +322,94 @@ func (js *Jobs) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// JobsStats is a point-in-time copy of the registry counters, served on
-// /v1/metrics. Tracked is the current registry occupancy (bounded by the
-// configured max); Retired counts terminal jobs dropped FIFO to make
-// room.
-type JobsStats struct {
-	Submitted int64 `json:"submitted"`
-	Rejected  int64 `json:"rejected"`
-	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed"`
-	Retired   int64 `json:"retired"`
-	Tracked   int64 `json:"tracked"`
+// LookupState distinguishes the three answers a job ID can have: tracked,
+// retired (the ID was issued, but the bounded registry has since dropped
+// the terminal record FIFO), or never issued at all. Servers map these to
+// 200, 410, and 404.
+type LookupState int
+
+const (
+	LookupFound LookupState = iota
+	LookupRetired
+	LookupUnknown
+)
+
+// Lookup resolves an ID to its job, or explains its absence. Retirement
+// is detected without any per-retired-job memory: IDs are dense sequence
+// numbers, so a canonical ID at or below the current sequence that is no
+// longer tracked must have been retired.
+func (js *Jobs) Lookup(id string) (*Job, LookupState) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if j, ok := js.jobs[id]; ok {
+		return j, LookupFound
+	}
+	if seq, ok := parseJobID(id); ok && seq >= 1 && seq <= js.seq {
+		return nil, LookupRetired
+	}
+	return nil, LookupUnknown
+}
+
+// List returns up to limit tracked jobs newest-first, starting strictly
+// after pageToken (a job ID from a previous page; empty starts at the
+// newest). The returned token is empty when the listing is exhausted.
+// A malformed token is an error; a token whose job has since been retired
+// still works, because position is derived from the ID's sequence number,
+// not the record.
+func (js *Jobs) List(limit int, pageToken string) ([]JobInfo, string, error) {
+	if limit <= 0 {
+		limit = DefaultJobPageSize
+	}
+	if limit > MaxJobPageSize {
+		limit = MaxJobPageSize
+	}
+	after := int(^uint(0) >> 1) // no token: start above every sequence
+	if pageToken != "" {
+		seq, ok := parseJobID(pageToken)
+		if !ok {
+			return nil, "", fmt.Errorf("exp: malformed page token %q (want a job ID)", pageToken)
+		}
+		after = seq
+	}
+
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	infos := make([]JobInfo, 0, limit)
+	next := ""
+	// order is submission order, so walking it backwards yields newest
+	// first; sequence numbers are strictly increasing with position.
+	for i := len(js.order) - 1; i >= 0; i-- {
+		j := js.jobs[js.order[i]]
+		if j.seq >= after {
+			continue
+		}
+		if len(infos) == limit {
+			next = infos[limit-1].ID
+			break
+		}
+		infos = append(infos, j.Info())
+	}
+	return infos, next, nil
+}
+
+// formatJobID renders a sequence number in the canonical wire form
+// ("job-000001"; wider, without padding, past a million submissions).
+func formatJobID(seq int) string {
+	return fmt.Sprintf("job-%06d", seq)
+}
+
+// parseJobID inverts formatJobID, accepting only the canonical form —
+// "job-1" is not an alias for "job-000001", it is an unknown ID.
+func parseJobID(id string) (int, bool) {
+	const prefix = "job-"
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(id[len(prefix):])
+	if err != nil || seq < 1 || formatJobID(seq) != id {
+		return 0, false
+	}
+	return seq, true
 }
 
 // Stats snapshots all counters.
@@ -306,6 +422,7 @@ func (js *Jobs) Stats() JobsStats {
 		Rejected:  js.met.Value(jobsRejected),
 		Completed: js.met.Value(jobsCompleted),
 		Failed:    js.met.Value(jobsFailed),
+		Canceled:  js.met.Value(jobsCanceled),
 		Retired:   js.met.Value(jobsRetired),
 		Tracked:   tracked,
 	}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/pkg/api"
 )
 
 // pollJob GETs a job's status until it reaches a terminal state.
@@ -26,7 +28,7 @@ func pollJob(t *testing.T, h http.Handler, id string) JobInfo {
 		if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
 			t.Fatal(err)
 		}
-		if info.Status == JobDone || info.Status == JobFailed {
+		if api.JobTerminal(info.Status) {
 			return info
 		}
 		if time.Now().After(deadline) {
@@ -44,7 +46,7 @@ func TestJobLifecycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulating sweeps in -short mode")
 	}
-	srv := NewServer(NewEngine(), 2, 0)
+	srv := NewServer(NewEngine(), WithWorkers(2))
 	h := srv.Handler()
 	spec := `{
 		"scenario": "covert-pnm",
@@ -140,7 +142,7 @@ func TestJobsConcurrentLifecycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulating sweeps in -short mode")
 	}
-	srv := NewServer(NewEngine(), 2, 0)
+	srv := NewServer(NewEngine(), WithWorkers(2))
 	h := srv.Handler()
 	spec := `{
 		"scenario": "covert-pnm",
@@ -244,8 +246,10 @@ func TestJobsRegistryBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := jobs.Submit(spec); err == nil || statusFor(err) != http.StatusTooManyRequests {
-		t.Fatalf("submit into a full live registry: err=%v", err)
+	if _, err := jobs.Submit(spec); err == nil {
+		t.Fatal("submit into a full live registry accepted")
+	} else if status, code := statusFor(err); status != http.StatusTooManyRequests || code != api.CodeTooManyJobs {
+		t.Fatalf("submit into a full live registry: status=%d code=%s (%v)", status, code, err)
 	}
 
 	release(json.RawMessage(`{"id":"fake"}`), nil)
@@ -283,7 +287,7 @@ func TestJobsRegistryBound(t *testing.T) {
 // connection, before the job finishes — not buffered until the end.
 func TestJobStreamFlushesIncrementally(t *testing.T) {
 	eng := NewEngine()
-	srv := NewServer(eng, 1, 0)
+	srv := NewServer(eng, WithWorkers(1))
 	spec, err := ParseSpec([]byte(`{
 		"scenario": "covert-pnm",
 		"grid": {"llc_bytes": [4194304, 8388608]}
@@ -370,7 +374,7 @@ func TestJobStreamFlushesIncrementally(t *testing.T) {
 // truncating at the first unfinished index.
 func TestJobStreamFailedSweep(t *testing.T) {
 	eng := NewEngine()
-	srv := NewServer(eng, 1, 0)
+	srv := NewServer(eng, WithWorkers(1))
 	spec, err := ParseSpec([]byte(`{
 		"scenario": "covert-pnm",
 		"grid": {"llc_bytes": [4194304, 8388608, 16777216]}
@@ -415,11 +419,12 @@ func TestJobStreamFailedSweep(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[1]), &rr); err != nil || !bytes.Equal(rr.Report, fakeC) {
 		t.Fatalf("line 1 should be the run that finished after the failure, got %q (%v)", lines[1], err)
 	}
-	var tail struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal([]byte(lines[2]), &tail); err != nil || !strings.Contains(tail.Error, "synthetic run failure") {
+	var tail api.Envelope
+	if err := json.Unmarshal([]byte(lines[2]), &tail); err != nil || tail.Err == nil {
 		t.Fatalf("trailing line = %q (%v)", lines[2], err)
+	}
+	if tail.Err.Code != api.CodeRunFailed || !strings.Contains(tail.Err.Message, "synthetic run failure") {
+		t.Fatalf("trailing error line = %+v, want code run_failed mentioning the failure", tail.Err)
 	}
 }
 
@@ -438,7 +443,7 @@ func (f *flushRecorder) Flush() {
 // handler behind instrument can reach the underlying Flusher both via a
 // type assertion and via http.ResponseController (which unwraps).
 func TestInstrumentForwardsFlush(t *testing.T) {
-	srv := NewServer(NewEngine(), 1, 0)
+	srv := NewServer(NewEngine(), WithWorkers(1))
 	rec := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
 	h := srv.instrument(routeRun, func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("first"))

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/figures"
 	"repro/internal/sim"
+	"repro/pkg/api"
 )
 
 // scenario is one runnable experiment kind. Config-sensitive scenarios
@@ -96,12 +97,9 @@ func ScenarioNames() []string {
 	return out
 }
 
-// ScenarioInfo describes one registry entry for API listings.
-type ScenarioInfo struct {
-	Name            string `json:"name"`
-	Description     string `json:"description"`
-	ConfigSensitive bool   `json:"config_sensitive"`
-}
+// ScenarioInfo describes one registry entry for API listings. The wire
+// shape lives in pkg/api with the rest of the v1 contract.
+type ScenarioInfo = api.ScenarioInfo
 
 // ScenarioList returns the registry metadata in presentation order.
 func ScenarioList() []ScenarioInfo {

@@ -1,32 +1,45 @@
 package exp
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/pkg/api"
 )
 
 // maxSpecBytes bounds POST /v1/run and POST /v1/jobs request bodies.
 const maxSpecBytes = 1 << 20
 
-// Server serves experiment reports over HTTP from a shared Engine. Because
-// every report is deterministic and content-addressed, responses for one
-// spec are byte-identical across requests; the X-Cache headers are the
-// only request-dependent surface.
+// Server serves experiment reports over HTTP from a shared Engine,
+// speaking the typed v1 wire contract defined in pkg/api: request and
+// response bodies are pkg/api documents, and every error is a structured
+// api.Envelope with a stable code. Because every report is deterministic
+// and content-addressed, responses for one spec are byte-identical across
+// requests; the X-Cache headers and X-Request-ID are the only
+// request-dependent surface.
 //
-//	POST /v1/run              run a Spec document, returns the SweepResult
-//	POST /v1/jobs             enqueue a Spec as an async job, returns 202
-//	GET  /v1/jobs/{id}        job status + per-run progress counts
-//	GET  /v1/jobs/{id}/stream RunResults as NDJSON while the sweep executes
-//	GET  /v1/figures/{id}     run one registry scenario, returns its Report
-//	GET  /v1/scenarios        list runnable scenarios
-//	GET  /v1/metrics          per-route counters + cache/store/job stats
-//	GET  /healthz             liveness + cache hit/miss counters
+//	POST   /v1/run              run a Spec document, returns the SweepResult
+//	POST   /v1/jobs             enqueue a Spec as an async job, returns 202
+//	GET    /v1/jobs             list tracked jobs, newest-first, paginated
+//	GET    /v1/jobs/{id}        job status + per-run progress counts
+//	DELETE /v1/jobs/{id}        cancel a job (idempotent; terminal state "canceled")
+//	GET    /v1/jobs/{id}/stream RunResults as NDJSON while the sweep executes
+//	GET    /v1/figures/{id}     run one registry scenario, returns its Report
+//	GET    /v1/scenarios        list runnable scenarios
+//	GET    /v1/metrics          per-route counters + cache/store/job stats
+//	GET    /healthz             liveness + build info + cache counters
 //
 // Experiment routes run behind a metrics middleware that records request
 // counts, error counts, and a latency histogram per route; /healthz and
@@ -35,12 +48,41 @@ const maxSpecBytes = 1 << 20
 type Server struct {
 	engine  *Engine
 	workers int
+	maxJobs int
 	jobs    *Jobs
 	met     *metrics.Groups
 }
 
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithWorkers bounds each request's (and each job's) simulation pool
+// (0, the default, selects all cores).
+func WithWorkers(n int) ServerOption {
+	return func(s *Server) { s.workers = n }
+}
+
+// WithMaxJobs bounds the async job registry (<= 0, the default, selects
+// DefaultMaxJobs).
+func WithMaxJobs(n int) ServerOption {
+	return func(s *Server) { s.maxJobs = n }
+}
+
+// NewServer wraps an engine with the v1 HTTP surface; see WithWorkers
+// and WithMaxJobs for the tunables.
+func NewServer(engine *Engine, opts ...ServerOption) *Server {
+	s := &Server{engine: engine}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.jobs = NewJobs(engine, s.workers, s.maxJobs)
+	s.met = metrics.NewGroups(routeNames, []string{"requests", "errors"},
+		"latency_ns", metrics.LatencyBounds())
+	return s
+}
+
 // routeID labels the instrumented routes, in the counter slot order built
-// by newServerMetrics.
+// in NewServer.
 type routeID int
 
 const (
@@ -48,13 +90,18 @@ const (
 	routeFigure
 	routeScenarios
 	routeJobSubmit
+	routeJobList
 	routeJobStatus
+	routeJobCancel
 	routeJobStream
 	routeCount
 )
 
 // routeNames are the stable labels used in the /v1/metrics document.
-var routeNames = []string{"run", "figure", "scenarios", "job_submit", "job_status", "job_stream"}
+var routeNames = []string{
+	"run", "figure", "scenarios", "job_submit", "job_list", "job_status",
+	"job_cancel", "job_stream",
+}
 
 // Per-route counter slots inside the metrics.Groups blocks.
 const (
@@ -62,20 +109,8 @@ const (
 	slotErrors
 )
 
-// NewServer wraps an engine; workers bounds each request's (and each
-// job's) simulation pool (0 = all cores), maxJobs bounds the async job
-// registry (<= 0 selects DefaultMaxJobs).
-func NewServer(engine *Engine, workers, maxJobs int) *Server {
-	return &Server{
-		engine:  engine,
-		workers: workers,
-		jobs:    NewJobs(engine, workers, maxJobs),
-		met: metrics.NewGroups(routeNames, []string{"requests", "errors"},
-			"latency_ns", metrics.LatencyBounds()),
-	}
-}
-
-// Handler returns the route table.
+// Handler returns the route table, wrapped so every response — including
+// the uninstrumented observability endpoints — carries an X-Request-ID.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -84,9 +119,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.instrument(routeRun, s.handleRun))
 	mux.HandleFunc("GET /v1/figures/{id}", s.instrument(routeFigure, s.handleFigure))
 	mux.HandleFunc("POST /v1/jobs", s.instrument(routeJobSubmit, s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument(routeJobList, s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(routeJobStatus, s.handleJobStatus))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument(routeJobCancel, s.handleJobCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.instrument(routeJobStream, s.handleJobStream))
-	return mux
+	return withRequestID(mux)
+}
+
+// withRequestID stamps X-Request-ID on every response: a sane inbound ID
+// is echoed (so a caller's own correlation IDs survive the round trip),
+// anything else gets a fresh one.
+func withRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(api.HeaderRequestID)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(api.HeaderRequestID, id)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// validRequestID accepts short printable tokens without whitespace —
+// enough to echo any reasonable tracing ID while refusing header abuse.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// newRequestID returns a fresh 16-hex-digit ID. Randomness (rather than a
+// counter) keeps IDs unique across restarts and replicas.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unavailable"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // statusRecorder captures the response status for error accounting.
@@ -131,34 +206,47 @@ func (s *Server) instrument(route routeID, h http.HandlerFunc) http.HandlerFunc 
 }
 
 // readSpec reads and parses a request's spec document, writing the error
-// response itself on failure (shared by /v1/run and /v1/jobs).
+// response itself on failure (shared by /v1/run and /v1/jobs). A non-JSON
+// Content-Type is a 415; an empty one is accepted for curl ergonomics.
 func readSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != api.ContentTypeJSON && !strings.HasSuffix(mt, "+json")) {
+			writeError(w, http.StatusUnsupportedMediaType, api.CodeUnsupportedMedia,
+				fmt.Errorf("exp: Content-Type %q is not JSON (send application/json or omit the header)", ct))
+			return Spec{}, false
+		}
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("reading body: %v", err))
 		return Spec{}, false
 	}
 	if len(body) > maxSpecBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec larger than %d bytes", maxSpecBytes))
+		writeError(w, http.StatusRequestEntityTooLarge, api.CodeSpecTooLarge,
+			fmt.Errorf("spec larger than %d bytes", maxSpecBytes))
 		return Spec{}, false
 	}
 	spec, err := ParseSpec(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeInvalidSpec, err)
 		return Spec{}, false
 	}
 	return spec, true
 }
 
-// handleRun expands and runs a spec document.
+// handleRun expands and runs a spec document. The request context rides
+// into the engine, so a disconnecting client stops scheduling new runs
+// (finished runs stay cached for the retry).
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	spec, ok := readSpec(w, r)
 	if !ok {
 		return
 	}
-	res, err := s.engine.RunSpec(spec, s.workers)
+	res, err := s.engine.RunSpec(r.Context(), spec, s.workers)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		status, code := statusFor(err)
+		writeError(w, status, code, err)
 		return
 	}
 	setCacheHeaders(w, res.Hits, res.Misses)
@@ -169,13 +257,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // query selects quick or full).
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	spec := Spec{Scenario: r.PathValue("id"), Scale: r.URL.Query().Get("scale")}
-	res, err := s.engine.RunSpec(spec, s.workers)
+	res, err := s.engine.RunSpec(r.Context(), spec, s.workers)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		status, code := statusFor(err)
+		writeError(w, status, code, err)
 		return
 	}
 	if len(res.Runs) == 0 {
-		writeError(w, http.StatusInternalServerError,
+		writeError(w, http.StatusInternalServerError, api.CodeInternal,
 			fmt.Errorf("exp: scenario %q expanded to no runs", spec.Scenario))
 		return
 	}
@@ -193,35 +282,90 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.jobs.Submit(spec)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		status, code := statusFor(err)
+		writeError(w, status, code, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, job.Info())
 }
 
-// handleJobStatus reports one job's lifecycle state and progress counts.
-func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobs.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("exp: unknown job %q", r.PathValue("id")))
+// handleJobList serves the tracked jobs newest-first. ?limit= bounds the
+// page (default DefaultJobPageSize, capped at MaxJobPageSize) and
+// ?page_token= (the next_page_token of the previous page) continues the
+// walk toward older jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Errorf("exp: limit %q is not a positive integer", raw))
+			return
+		}
+		limit = n
+	}
+	infos, next, err := s.jobs.List(limit, q.Get("page_token"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, api.JobPage{Jobs: infos, NextPageToken: next})
+}
+
+// lookupJob resolves a path's job ID, writing the 404/410 itself when the
+// job is not tracked — 410 with code job_retired distinguishes "this ID
+// existed but its record aged out" from "never existed".
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, state := s.jobs.Lookup(id)
+	switch state {
+	case LookupFound:
+		return job, true
+	case LookupRetired:
+		writeError(w, http.StatusGone, api.CodeJobRetired,
+			fmt.Errorf("exp: job %q retired from the bounded registry; its reports remain cached — resubmit the spec", id))
+	default:
+		writeError(w, http.StatusNotFound, api.CodeUnknownJob, fmt.Errorf("exp: unknown job %q", id))
+	}
+	return nil, false
+}
+
+// handleJobStatus reports one job's lifecycle state and progress counts.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleJobCancel cancels a job. Idempotent: canceling a terminal (or
+// already-canceled) job changes nothing. The response is the job's state
+// at cancellation time — in-flight runs still drain, so clients that need
+// the terminal "canceled" state poll or stream until it lands.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
 	writeJSON(w, http.StatusOK, job.Info())
 }
 
 // handleJobStream streams the job's RunResults as NDJSON in expansion
 // order, each line flushed as its run completes, so a client watches a
 // long sweep make progress instead of holding a silent connection. A
-// completed job replays its full result set; a failed sweep ends the
-// stream with an {"error": ...} line after the runs that did finish.
+// completed job replays its full result set; a failed or canceled sweep
+// ends the stream with an api.Envelope error line after the runs that did
+// finish.
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobs.Get(r.PathValue("id"))
+	job, ok := s.lookupJob(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("exp: unknown job %q", r.PathValue("id")))
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", api.ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	for i := 0; i < job.Total(); i++ {
@@ -230,9 +374,9 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 			if r.Context().Err() != nil {
 				return // client gone; nothing left to tell it
 			}
-			// Failed sweep: this run never finished, but later ones may
-			// have (the pool drains every queued run), and the contract
-			// promises every finished run before the error line.
+			// Failed or canceled sweep: this run never finished, but later
+			// ones may have (the pool drains every claimed run), and the
+			// contract promises every finished run before the error line.
 			continue
 		}
 		line, err := json.Marshal(rr)
@@ -244,7 +388,11 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		rc.Flush()
 	}
 	if err := job.Err(); err != nil {
-		line, _ := json.Marshal(map[string]string{"error": err.Error()})
+		code := api.CodeRunFailed
+		if errors.Is(err, ErrJobCanceled) {
+			code = api.CodeJobCanceled
+		}
+		line, _ := json.Marshal(api.Envelope{Err: &api.Error{Code: code, Message: err.Error()}})
 		w.Write(line)
 		w.Write([]byte("\n"))
 		rc.Flush()
@@ -253,49 +401,48 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 
 // handleScenarios lists the registry.
 func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"scenarios": ScenarioList()})
+	writeJSON(w, http.StatusOK, api.ScenarioList{Scenarios: ScenarioList()})
 }
 
-// handleHealth reports liveness and the engine's cache counters. The shape
-// (status + entries/hits/misses) is a stable wire contract; the richer
-// document lives on /v1/metrics.
+// buildVersion and buildGo are resolved once from the binary's embedded
+// build info for the health document.
+var buildVersion, buildGo = readBuildInfo()
+
+func readBuildInfo() (string, string) {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v := bi.Main.Version
+		if v == "" {
+			v = "(devel)"
+		}
+		return v, bi.GoVersion
+	}
+	return "unknown", runtime.Version()
+}
+
+// handleHealth reports liveness, build info, and the engine's cache
+// counters. The shape is a stable wire contract (api.Health); the richer
+// document lives on /v1/metrics, and this endpoint stays uninstrumented
+// so scraping it never pollutes the experiment counters.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	st := s.engine.Cache().Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"cache": map[string]int64{
-			"entries": st.Entries,
-			"hits":    st.Hits,
-			"misses":  st.Misses,
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:  "ok",
+		Version: buildVersion,
+		Go:      buildGo,
+		Cache: api.HealthCache{
+			Entries: st.Entries,
+			Hits:    st.Hits,
+			Misses:  st.Misses,
 		},
 	})
 }
 
-// RouteMetrics is the per-route section of the /v1/metrics document.
-// Latency quantiles are estimated from the fixed 1-2-5 bucket ladder
-// (metrics.LatencyBounds), so they carry bucket-resolution error;
-// LatencyOverflow counts samples beyond the top bound (reported by
-// quantiles as that bound) and LatencyNegative counts clock-skewed
-// samples clamped to zero, so neither distortion is silent.
-type RouteMetrics struct {
-	Requests        int64   `json:"requests"`
-	Errors          int64   `json:"errors"`
-	LatencyMeanN    float64 `json:"latency_mean_ns"`
-	LatencyP50N     int64   `json:"latency_p50_ns"`
-	LatencyP90N     int64   `json:"latency_p90_ns"`
-	LatencyP99N     int64   `json:"latency_p99_ns"`
-	LatencyOverflow int64   `json:"latency_overflow"`
-	LatencyNegative int64   `json:"latency_negative"`
-}
-
-// MetricsDoc is the GET /v1/metrics response body. Store is present only
-// when the engine has a durable disk store configured.
-type MetricsDoc struct {
-	Requests map[string]RouteMetrics `json:"requests"`
-	Cache    CacheStats              `json:"cache"`
-	Store    *StoreStats             `json:"store,omitempty"`
-	Jobs     JobsStats               `json:"jobs"`
-}
+// RouteMetrics and MetricsDoc are the /v1/metrics wire shapes, defined in
+// pkg/api with the rest of the v1 contract.
+type (
+	RouteMetrics = api.RouteMetrics
+	MetricsDoc   = api.MetricsDoc
+)
 
 // handleMetrics serves the runtime metrics document. Read-only: it must
 // never touch the result cache or the experiment counters (scrapers poll
@@ -337,28 +484,34 @@ func setCacheHeaders(w http.ResponseWriter, hits, misses int) {
 	case misses > 0 && hits > 0:
 		state = "partial"
 	}
-	w.Header().Set("X-Cache", state)
-	w.Header().Set("X-Cache-Hits", fmt.Sprint(hits))
-	w.Header().Set("X-Cache-Misses", fmt.Sprint(misses))
+	w.Header().Set(api.HeaderCache, state)
+	w.Header().Set(api.HeaderCacheHits, fmt.Sprint(hits))
+	w.Header().Set(api.HeaderCacheMisses, fmt.Sprint(misses))
 }
 
-// statusFor maps engine errors to HTTP statuses: unknown scenarios are
-// 404s (the resource does not exist), a full job registry is a 429 (try
-// again once a job finishes), everything else a client spec error.
-func statusFor(err error) int {
+// statusFor maps engine errors to HTTP statuses and stable error codes:
+// unknown scenarios are 404s (the resource does not exist), a full job
+// registry is a 429 (try again once a job finishes), a canceled sweep is
+// a 499 (the nginx "client closed request" convention — the only way a
+// synchronous run is canceled is its own client disconnecting), and
+// everything else is a client spec error.
+func statusFor(err error) (int, api.ErrorCode) {
 	if errors.Is(err, ErrUnknownScenario) {
-		return http.StatusNotFound
+		return http.StatusNotFound, api.CodeUnknownScenario
 	}
 	if errors.Is(err, ErrTooManyJobs) {
-		return http.StatusTooManyRequests
+		return http.StatusTooManyRequests, api.CodeTooManyJobs
 	}
-	return http.StatusBadRequest
+	if errors.Is(err, ErrSweepCanceled) {
+		return 499, api.CodeJobCanceled
+	}
+	return http.StatusBadRequest, api.CodeInvalidSpec
 }
 
 // writeRawJSON writes pre-marshaled JSON with the shared content type and
 // the trailing newline every JSON body carries.
 func writeRawJSON(w http.ResponseWriter, status int, blob []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
 	w.WriteHeader(status)
 	w.Write(blob)
 	w.Write([]byte("\n"))
@@ -369,14 +522,14 @@ func writeRawJSON(w http.ResponseWriter, status int, blob []byte) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	blob, err := json.Marshal(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	writeRawJSON(w, status, blob)
 }
 
-// writeError emits a JSON error document.
-func writeError(w http.ResponseWriter, status int, err error) {
-	blob, _ := json.Marshal(map[string]string{"error": err.Error()})
+// writeError emits a structured api.Envelope error document.
+func writeError(w http.ResponseWriter, status int, code api.ErrorCode, err error) {
+	blob, _ := json.Marshal(api.Envelope{Err: &api.Error{Code: code, Message: err.Error()}})
 	writeRawJSON(w, status, blob)
 }

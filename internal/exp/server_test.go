@@ -30,7 +30,7 @@ func TestServerRunCacheHit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulating sweeps in -short mode")
 	}
-	h := NewServer(NewEngine(), 2, 0).Handler()
+	h := NewServer(NewEngine(), WithWorkers(2)).Handler()
 	spec := `{
 		"scenario": "covert-pum",
 		"grid": {"llc_bytes": [4194304, 8388608], "mem.defense": ["none", "ctd"]}
@@ -101,7 +101,7 @@ func TestServerRunCacheHit(t *testing.T) {
 // TestServerFigureEndpoint serves a single registry artifact, cached on
 // the second fetch.
 func TestServerFigureEndpoint(t *testing.T) {
-	h := NewServer(NewEngine(), 1, 0).Handler()
+	h := NewServer(NewEngine(), WithWorkers(1)).Handler()
 
 	first := doRequest(t, h, http.MethodGet, "/v1/figures/rowbuffer", "")
 	if first.Code != http.StatusOK {
@@ -150,7 +150,7 @@ func TestServerFigureEndpoint(t *testing.T) {
 
 // TestServerScenarios lists the registry.
 func TestServerScenarios(t *testing.T) {
-	h := NewServer(NewEngine(), 1, 0).Handler()
+	h := NewServer(NewEngine(), WithWorkers(1)).Handler()
 	rec := doRequest(t, h, http.MethodGet, "/v1/scenarios", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("scenarios = %d", rec.Code)
@@ -178,7 +178,7 @@ func TestServerScenarios(t *testing.T) {
 
 // TestServerErrors checks the HTTP error contract.
 func TestServerErrors(t *testing.T) {
-	h := NewServer(NewEngine(), 1, 0).Handler()
+	h := NewServer(NewEngine(), WithWorkers(1)).Handler()
 	cases := []struct {
 		name, method, path, body string
 		want                     int

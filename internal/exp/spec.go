@@ -18,10 +18,12 @@
 // asynchronous ones through the bounded Jobs registry (POST /v1/jobs,
 // polled and streamed as NDJSON) — whose experiment routes run behind a
 // metrics middleware (request counts, error counts, latency histograms
-// from internal/metrics) exported on GET /v1/metrics; see docs/api.md
-// for the wire contract. cmd/impact-server exposes the engine over HTTP,
-// cmd/impact-sweep drives it from spec files, and cmd/impact-bench
-// load-tests the serving layer.
+// from internal/metrics) exported on GET /v1/metrics. The wire contract
+// — request/response documents, job lifecycle states, and the structured
+// error envelope — is the typed pkg/api package (see docs/api.md), and
+// pkg/client is the Go SDK over it. cmd/impact-server exposes the engine
+// over HTTP, cmd/impact-sweep drives it from spec files through the SDK,
+// and cmd/impact-bench load-tests the serving layer.
 package exp
 
 import (
@@ -36,6 +38,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/sim"
+	"repro/pkg/api"
 )
 
 // MaxRuns bounds how many concrete runs one spec may expand into, so a
@@ -46,30 +49,26 @@ const MaxRuns = 4096
 // that is not in the registry (servers map it to 404 rather than 400).
 var ErrUnknownScenario = errors.New("exp: unknown scenario")
 
-// Spec is the declarative form of an experiment sweep.
+// Spec is the engine-side form of an experiment sweep. Its wire shape is
+// api.RunSpec — the two convert freely — with the expansion machinery
+// (Expand, grid resolution, content addressing) layered on top here so
+// pkg/api stays a pure contract package.
 //
 // Config is a sparse sim.Config document (snake_case JSON tags; see
 // sim.FromJSON) deep-merged over the Table 2 defaults. Grid maps
 // dot-separated config field paths — e.g. "llc_bytes" or "mem.defense" —
 // to the list of values to sweep; the engine expands the Cartesian
 // product of all grid fields into concrete runs.
-type Spec struct {
-	Scenario string                       `json:"scenario"`
-	Scale    string                       `json:"scale,omitempty"`
-	Config   json.RawMessage              `json:"config,omitempty"`
-	Grid     map[string][]json.RawMessage `json:"grid,omitempty"`
-}
+type Spec api.RunSpec
 
 // ParseSpec decodes a spec document, rejecting unknown fields so typos
 // ("grids", "senario") fail loudly instead of silently running defaults.
 func ParseSpec(data []byte) (Spec, error) {
-	var s Spec
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&s); err != nil {
-		return Spec{}, fmt.Errorf("exp: spec: %v", err)
+	s, err := api.ParseRunSpec(data)
+	if err != nil {
+		return Spec{}, err
 	}
-	return s, nil
+	return Spec(s), nil
 }
 
 // Run is one concrete, fully resolved experiment: a scenario, a scale,

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/metrics"
+	"repro/pkg/api"
 )
 
 // Fixed counter IDs for store statistics, in the slot order passed to
@@ -193,16 +194,9 @@ func (s *Store) write(path string, blob json.RawMessage) error {
 }
 
 // StoreStats is a point-in-time copy of the store counters, served on
-// /v1/metrics. CorruptDropped counts entries that failed header or
-// checksum validation and were deleted; Errors counts I/O failures that
-// degraded to misses or dropped writes.
-type StoreStats struct {
-	Hits           int64 `json:"hits"`
-	Misses         int64 `json:"misses"`
-	Stores         int64 `json:"stores"`
-	CorruptDropped int64 `json:"corrupt_dropped"`
-	Errors         int64 `json:"errors"`
-}
+// /v1/metrics. The wire shape lives in pkg/api with the rest of the v1
+// contract.
+type StoreStats = api.StoreStats
 
 // Stats snapshots all counters.
 func (s *Store) Stats() StoreStats {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"os"
@@ -136,7 +137,7 @@ func TestServerRestartDurability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h1 := NewServer(NewEngineWithStore(st1), 2, 0).Handler()
+	h1 := NewServer(NewEngine(WithStore(st1)), WithWorkers(2)).Handler()
 	cold := doRequest(t, h1, http.MethodPost, "/v1/run", restartSpec)
 	if cold.Code != http.StatusOK {
 		t.Fatalf("cold POST = %d: %s", cold.Code, cold.Body)
@@ -155,8 +156,8 @@ func TestServerRestartDurability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng2 := NewEngineWithStore(st2)
-	h2 := NewServer(eng2, 2, 0).Handler()
+	eng2 := NewEngine(WithStore(st2))
+	h2 := NewServer(eng2, WithWorkers(2)).Handler()
 	restarted := doRequest(t, h2, http.MethodPost, "/v1/run", restartSpec)
 	if restarted.Code != http.StatusOK {
 		t.Fatalf("restarted POST = %d: %s", restarted.Code, restarted.Body)
@@ -182,7 +183,7 @@ func TestServerRestartDurability(t *testing.T) {
 	}
 
 	// The cold path with no store at all also produces the same bytes.
-	pure := doRequest(t, NewServer(NewEngine(), 2, 0).Handler(), http.MethodPost, "/v1/run", restartSpec)
+	pure := doRequest(t, NewServer(NewEngine(), WithWorkers(2)).Handler(), http.MethodPost, "/v1/run", restartSpec)
 	if !bytes.Equal(pure.Body.Bytes(), cold.Body.Bytes()) {
 		t.Fatal("store layering changed response bytes")
 	}
@@ -197,12 +198,12 @@ func TestStoreCorruptEntryReSimulates(t *testing.T) {
 	}
 	dir := filepath.Join(t.TempDir(), "data")
 	st1, _ := NewStore(dir)
-	eng1 := NewEngineWithStore(st1)
+	eng1 := NewEngine(WithStore(st1))
 	spec, err := ParseSpec([]byte(restartSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := eng1.RunSpec(spec, 2)
+	first, err := eng1.RunSpec(context.Background(), spec, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,8 +216,8 @@ func TestStoreCorruptEntryReSimulates(t *testing.T) {
 	}
 
 	st2, _ := NewStore(dir)
-	eng2 := NewEngineWithStore(st2)
-	second, err := eng2.RunSpec(spec, 2)
+	eng2 := NewEngine(WithStore(st2))
+	second, err := eng2.RunSpec(context.Background(), spec, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,237 @@
+// Package api is the versioned wire contract of the impact experiment
+// service: every request and response body exchanged on the /v1 HTTP
+// surface is defined here as a typed document, shared verbatim by the
+// server (internal/exp), the Go SDK (pkg/client), and the CLIs
+// (cmd/impact-server, cmd/impact-sweep, cmd/impact-bench). The package
+// has no dependencies beyond the standard library, so external users can
+// import it without pulling in the simulator.
+//
+// Two invariants shape every type here:
+//
+//   - Determinism: the simulator behind the service is deterministic and
+//     reports are content-addressed, so the body served for one RunSpec is
+//     byte-identical across requests, worker counts, and server restarts.
+//     The JSON field order of these structs is therefore part of the
+//     contract — reordering fields changes served bytes.
+//   - Structured errors: every non-2xx response is an Envelope holding an
+//     Error with a stable machine-readable Code (see errors.go), so
+//     clients branch on codes, never on message text.
+//
+// See docs/api.md for the endpoint-by-endpoint contract.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the API version prefix every experiment route lives under.
+const Version = "v1"
+
+// Response headers that carry request-scoped metadata outside the body.
+const (
+	// HeaderRequestID is set on every response. Inbound values are echoed
+	// back (so callers can correlate retries); absent ones are generated.
+	HeaderRequestID = "X-Request-ID"
+	// HeaderCache summarizes how a request's unique runs were served:
+	// "hit" (all from cache), "miss" (none), or "partial".
+	HeaderCache = "X-Cache"
+	// HeaderCacheHits and HeaderCacheMisses carry the counts behind the
+	// HeaderCache verdict.
+	HeaderCacheHits   = "X-Cache-Hits"
+	HeaderCacheMisses = "X-Cache-Misses"
+)
+
+// ContentTypeJSON is the request/response body media type for every
+// document endpoint; ContentTypeNDJSON is the job stream's.
+const (
+	ContentTypeJSON   = "application/json"
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// RunSpec is the declarative form of an experiment sweep, the request
+// body of POST /v1/run and POST /v1/jobs.
+//
+// Config is a sparse sim.Config document (snake_case fields) deep-merged
+// over the paper's Table 2 defaults. Grid maps dot-separated config field
+// paths — e.g. "llc_bytes" or "mem.defense" — to the list of values to
+// sweep; the server expands the Cartesian product of all grid fields into
+// concrete runs (sorted path order, last path fastest).
+type RunSpec struct {
+	Scenario string                       `json:"scenario"`
+	Scale    string                       `json:"scale,omitempty"`
+	Config   json.RawMessage              `json:"config,omitempty"`
+	Grid     map[string][]json.RawMessage `json:"grid,omitempty"`
+}
+
+// ParseRunSpec decodes a spec document the same way the server does:
+// unknown fields are rejected so typos ("grids", "senario") fail loudly
+// client-side instead of silently running defaults.
+func ParseRunSpec(data []byte) (RunSpec, error) {
+	var s RunSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return RunSpec{}, fmt.Errorf("api: spec: %v", err)
+	}
+	return s, nil
+}
+
+// RunResult is one concrete run's outcome: its content address, the
+// resolved scenario/scale/grid-point labels, and the report document.
+// These appear as SweepResult.Runs elements and as the NDJSON lines of
+// GET /v1/jobs/{id}/stream (line i is byte-identical to runs[i] of the
+// synchronous response for the same spec).
+type RunResult struct {
+	Key      string            `json:"key"`
+	Scenario string            `json:"scenario"`
+	Scale    string            `json:"scale"`
+	Params   map[string]string `json:"params,omitempty"`
+	Report   json.RawMessage   `json:"report"`
+}
+
+// SweepResult is the POST /v1/run response: every expanded run in
+// deterministic expansion order, under the sweep's own content address
+// (the SHA-256 over the ordered run keys).
+type SweepResult struct {
+	SpecKey string      `json:"spec_key"`
+	Runs    []RunResult `json:"runs"`
+}
+
+// ScenarioInfo describes one runnable scenario in the registry listing.
+// ConfigSensitive scenarios accept config/grid fields; the rest replay
+// fixed paper artifacts and reject them.
+type ScenarioInfo struct {
+	Name            string `json:"name"`
+	Description     string `json:"description"`
+	ConfigSensitive bool   `json:"config_sensitive"`
+}
+
+// ScenarioList is the GET /v1/scenarios response.
+type ScenarioList struct {
+	Scenarios []ScenarioInfo `json:"scenarios"`
+}
+
+// Job statuses, in lifecycle order: a job starts queued, moves to
+// running, and lands in exactly one terminal state. Retirement (the
+// registry dropping a terminal job FIFO to bound memory) is not a
+// status — a retired job answers 410 with code "job_retired".
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// JobTerminal reports whether a status string is a terminal state.
+func JobTerminal(status string) bool {
+	return status == JobDone || status == JobFailed || status == JobCanceled
+}
+
+// JobInfo is the wire form of a job's state, served on POST /v1/jobs,
+// GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, and inside GET /v1/jobs.
+// Hits and Misses count completed runs by how they were served (cache
+// vs. simulation); SpecKey appears only on done jobs and Error only on
+// failed or canceled ones.
+type JobInfo struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Runs      int    `json:"runs"`
+	Completed int    `json:"completed"`
+	Hits      int    `json:"hits"`
+	Misses    int    `json:"misses"`
+	SpecKey   string `json:"spec_key,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// JobPage is the GET /v1/jobs response: tracked jobs newest-first.
+// NextPageToken, when set, is the ?page_token= value that continues the
+// listing with the next-older page; an empty token means the listing is
+// complete.
+type JobPage struct {
+	Jobs          []JobInfo `json:"jobs"`
+	NextPageToken string    `json:"next_page_token,omitempty"`
+}
+
+// Health is the GET /healthz response: a stable, minimal liveness
+// contract (richer data lives on /v1/metrics). Version and Go come from
+// the binary's embedded build info.
+type Health struct {
+	Status  string      `json:"status"`
+	Version string      `json:"version"`
+	Go      string      `json:"go"`
+	Cache   HealthCache `json:"cache"`
+}
+
+// HealthCache is the result-cache slice of the health document.
+type HealthCache struct {
+	Entries int64 `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+// RouteMetrics is the per-route section of the /v1/metrics document.
+// Latency quantiles are estimated from fixed 1-2-5 bucket histograms, so
+// they carry bucket-resolution error; LatencyOverflow counts samples
+// beyond the top bound and LatencyNegative counts clock-skewed samples
+// clamped to zero, so neither distortion is silent.
+type RouteMetrics struct {
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	LatencyMeanN    float64 `json:"latency_mean_ns"`
+	LatencyP50N     int64   `json:"latency_p50_ns"`
+	LatencyP90N     int64   `json:"latency_p90_ns"`
+	LatencyP99N     int64   `json:"latency_p99_ns"`
+	LatencyOverflow int64   `json:"latency_overflow"`
+	LatencyNegative int64   `json:"latency_negative"`
+}
+
+// CacheStats is the result-cache section of /v1/metrics (and, in part,
+// /healthz). Computes counts actual simulator executions; DedupHits
+// counts callers whose identical in-flight run was coalesced onto
+// another request's computation.
+type CacheStats struct {
+	Entries   int64 `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	Computes  int64 `json:"computes"`
+	DedupHits int64 `json:"dedup_hits"`
+}
+
+// StoreStats is the durable-store section of /v1/metrics, present only
+// when the server runs with a disk store. CorruptDropped counts entries
+// that failed checksum validation and were deleted; Errors counts I/O
+// failures that degraded to misses or dropped writes.
+type StoreStats struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Stores         int64 `json:"stores"`
+	CorruptDropped int64 `json:"corrupt_dropped"`
+	Errors         int64 `json:"errors"`
+}
+
+// JobsStats is the async-job-registry section of /v1/metrics. Tracked is
+// current registry occupancy; Retired counts terminal jobs dropped FIFO
+// to admit new submissions.
+type JobsStats struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Retired   int64 `json:"retired"`
+	Tracked   int64 `json:"tracked"`
+}
+
+// MetricsDoc is the GET /v1/metrics response body. Store is present only
+// when the engine has a durable disk store configured.
+type MetricsDoc struct {
+	Requests map[string]RouteMetrics `json:"requests"`
+	Cache    CacheStats              `json:"cache"`
+	Store    *StoreStats             `json:"store,omitempty"`
+	Jobs     JobsStats               `json:"jobs"`
+}

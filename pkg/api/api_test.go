@@ -1,0 +1,68 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestParseRunSpecStrict pins client-side parsing: unknown fields fail
+// loudly, valid documents round-trip losslessly.
+func TestParseRunSpecStrict(t *testing.T) {
+	raw := `{"scenario": "covert-pnm", "scale": "quick", "grid": {"llc_bytes": [1, 2]}}`
+	spec, err := ParseRunSpec([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Scenario != "covert-pnm" || spec.Scale != "quick" || len(spec.Grid["llc_bytes"]) != 2 {
+		t.Fatalf("parsed spec: %+v", spec)
+	}
+
+	if _, err := ParseRunSpec([]byte(`{"senario": "x"}`)); err == nil || !strings.Contains(err.Error(), "senario") {
+		t.Fatalf("typo field not rejected: %v", err)
+	}
+	if _, err := ParseRunSpec([]byte(`{"scenario": `)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestErrorEnvelopeShape pins the wire form of the error contract.
+func TestErrorEnvelopeShape(t *testing.T) {
+	blob, err := json.Marshal(Envelope{Err: &Error{Code: CodeUnknownJob, Message: "no such job"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"unknown_job","message":"no such job"}}`
+	if string(blob) != want {
+		t.Fatalf("envelope = %s, want %s", blob, want)
+	}
+
+	decoded := DecodeError(404, blob)
+	if decoded.Code != CodeUnknownJob || decoded.HTTPStatus != 404 || decoded.Message != "no such job" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if msg := decoded.Error(); !strings.Contains(msg, "unknown_job") || !strings.Contains(msg, "404") {
+		t.Fatalf("Error() = %q", msg)
+	}
+
+	// Non-envelope bodies degrade to a typed internal error, not a panic
+	// or a nil.
+	fallback := DecodeError(502, []byte("<html>bad gateway</html>"))
+	if fallback.Code != CodeInternal || fallback.HTTPStatus != 502 {
+		t.Fatalf("fallback = %+v", fallback)
+	}
+}
+
+// TestJobTerminal pins the lifecycle predicate.
+func TestJobTerminal(t *testing.T) {
+	for _, s := range []string{JobDone, JobFailed, JobCanceled} {
+		if !JobTerminal(s) {
+			t.Fatalf("%q should be terminal", s)
+		}
+	}
+	for _, s := range []string{JobQueued, JobRunning, "", "retired"} {
+		if JobTerminal(s) {
+			t.Fatalf("%q should not be terminal", s)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ErrorCode is the stable, machine-readable classification of an API
+// error. Codes are the branching surface of the error contract: messages
+// are for humans and may change wording; codes never do.
+type ErrorCode string
+
+const (
+	// CodeBadRequest: the request could not be read (bad transfer, bad
+	// query parameter, malformed page token).
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeInvalidSpec: the spec document is malformed, names unknown
+	// fields, fails config validation, or mixes config/grid into a
+	// figure-replay scenario.
+	CodeInvalidSpec ErrorCode = "invalid_spec"
+	// CodeSpecTooLarge: the spec body exceeds the 1 MiB bound (413).
+	CodeSpecTooLarge ErrorCode = "spec_too_large"
+	// CodeUnsupportedMedia: a POST carried a non-JSON Content-Type (415).
+	// An empty Content-Type is accepted for curl ergonomics.
+	CodeUnsupportedMedia ErrorCode = "unsupported_media_type"
+	// CodeUnknownScenario: the scenario name is not in the registry (404).
+	CodeUnknownScenario ErrorCode = "unknown_scenario"
+	// CodeUnknownJob: the job ID was never issued by this server (404).
+	CodeUnknownJob ErrorCode = "unknown_job"
+	// CodeJobRetired: the job ID was issued but its record has been
+	// retired FIFO from the bounded registry (410). The results
+	// themselves live on in the content-addressed cache/store, so
+	// re-submitting the same spec is cheap.
+	CodeJobRetired ErrorCode = "job_retired"
+	// CodeTooManyJobs: the registry is full of live (queued or running)
+	// jobs (429); retry after one finishes.
+	CodeTooManyJobs ErrorCode = "too_many_jobs"
+	// CodeJobCanceled: the sweep was canceled before completing. Appears
+	// on the job stream's trailing error line and on synchronous runs cut
+	// short by client disconnect.
+	CodeJobCanceled ErrorCode = "job_canceled"
+	// CodeRunFailed: a simulation inside the sweep failed (the job
+	// stream's trailing error line for failed sweeps).
+	CodeRunFailed ErrorCode = "run_failed"
+	// CodeInternal: the server failed in a way the request did not cause.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the structured error document inside every non-2xx response
+// (and the trailing NDJSON line of a failed or canceled job stream). It
+// implements the error interface, so pkg/client returns it directly:
+//
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeJobRetired { … }
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	Detail  any       `json:"detail,omitempty"`
+
+	// HTTPStatus is the response status the error arrived with. Filled by
+	// clients, never serialized: the status line already carries it.
+	HTTPStatus int `json:"-"`
+}
+
+// Error renders the code-prefixed message.
+func (e *Error) Error() string {
+	if e.HTTPStatus != 0 {
+		return fmt.Sprintf("api: %s (%d): %s", e.Code, e.HTTPStatus, e.Message)
+	}
+	return fmt.Sprintf("api: %s: %s", e.Code, e.Message)
+}
+
+// Envelope is the wire wrapper every error travels in:
+//
+//	{"error": {"code": "unknown_scenario", "message": "..."}}
+type Envelope struct {
+	Err *Error `json:"error"`
+}
+
+// DecodeError parses an error response body into an *Error carrying the
+// given HTTP status. Bodies that are not a valid envelope (a crashed
+// proxy, a non-API server) degrade to CodeInternal with the raw body as
+// the message, so callers always get a typed error.
+func DecodeError(status int, body []byte) *Error {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Err != nil && env.Err.Code != "" {
+		env.Err.HTTPStatus = status
+		return env.Err
+	}
+	msg := string(body)
+	if len(msg) > 512 {
+		msg = msg[:512] + "…"
+	}
+	return &Error{Code: CodeInternal, Message: msg, HTTPStatus: status}
+}

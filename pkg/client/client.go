@@ -1,0 +1,338 @@
+// Package client is the Go SDK for the impact experiment service: a
+// typed, context-aware wrapper over the v1 HTTP surface whose wire
+// contract lives in pkg/api. Every method takes a context, applies the
+// client's per-request timeout, retries transient failures (transport
+// errors and 5xx responses) where a retry is safe, and returns server
+// errors as *api.Error values carrying the stable machine-readable code:
+//
+//	c, err := client.New("http://localhost:8322")
+//	res, cache, err := c.Run(ctx, spec)
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeUnknownScenario { … }
+//
+// Asynchronous sweeps get the full job lifecycle: SubmitJob, ListJobs,
+// Job, CancelJob, WaitJob, and StreamJob's NDJSON iterator that yields
+// each run as the server finishes it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Defaults applied by New; all are overridable through Options.
+const (
+	DefaultTimeout      = 2 * time.Minute
+	DefaultRetries      = 2
+	DefaultBackoff      = 100 * time.Millisecond
+	DefaultPollInterval = 20 * time.Millisecond
+)
+
+// Client is a typed v1 API client. Safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	poll    time.Duration
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (connection pooling, proxies,
+// instrumentation). The client never mutates it.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout bounds each unary request (0 disables the bound). Streams
+// are exempt: a long sweep may hold its stream open far longer than any
+// sane unary timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry sets how many times a retry-safe request is reissued after a
+// transport error or 5xx response, and the base backoff between attempts
+// (which doubles each retry). 0 retries disables retrying.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+}
+
+// WithPollInterval sets the WaitJob status-poll cadence.
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) { c.poll = d }
+}
+
+// New returns a client for the service at baseURL (scheme defaults to
+// http:// when absent).
+func New(baseURL string, opts ...Option) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("client: empty base URL")
+	}
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q: invalid", baseURL)
+	}
+	c := &Client{
+		base:    strings.TrimSuffix(baseURL, "/"),
+		hc:      http.DefaultClient,
+		timeout: DefaultTimeout,
+		retries: DefaultRetries,
+		backoff: DefaultBackoff,
+		poll:    DefaultPollInterval,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// CacheInfo summarizes how the server served a request's unique runs,
+// parsed from the X-Cache response headers: State is "hit" (all from
+// cache), "miss" (none), or "partial" (an overlapping sweep), with the
+// counts behind the verdict.
+type CacheInfo struct {
+	State  string
+	Hits   int
+	Misses int
+}
+
+func cacheInfo(h http.Header) CacheInfo {
+	hits, _ := strconv.Atoi(h.Get(api.HeaderCacheHits))
+	misses, _ := strconv.Atoi(h.Get(api.HeaderCacheMisses))
+	return CacheInfo{State: h.Get(api.HeaderCache), Hits: hits, Misses: misses}
+}
+
+// Run executes a sweep synchronously (POST /v1/run). Deterministic
+// content addressing makes this retry-safe despite being a POST: a
+// repeated spec can only re-serve the same bytes.
+func (c *Client) Run(ctx context.Context, spec api.RunSpec) (*api.SweepResult, CacheInfo, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, CacheInfo{}, fmt.Errorf("client: marshaling spec: %v", err)
+	}
+	var res api.SweepResult
+	h, err := c.do(ctx, http.MethodPost, "/v1/run", body, &res, true)
+	if err != nil {
+		return nil, CacheInfo{}, err
+	}
+	return &res, cacheInfo(h), nil
+}
+
+// Figure replays one registry scenario (GET /v1/figures/{id}) and
+// returns its raw report document; scale is "quick", "full", or "" for
+// the server default.
+func (c *Client) Figure(ctx context.Context, id, scale string) (json.RawMessage, CacheInfo, error) {
+	path := "/v1/figures/" + url.PathEscape(id)
+	if scale != "" {
+		path += "?scale=" + url.QueryEscape(scale)
+	}
+	var rep json.RawMessage
+	h, err := c.do(ctx, http.MethodGet, path, nil, &rep, true)
+	if err != nil {
+		return nil, CacheInfo{}, err
+	}
+	return rep, cacheInfo(h), nil
+}
+
+// Scenarios lists the runnable scenario registry (GET /v1/scenarios).
+func (c *Client) Scenarios(ctx context.Context) ([]api.ScenarioInfo, error) {
+	var list api.ScenarioList
+	if _, err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &list, true); err != nil {
+		return nil, err
+	}
+	return list.Scenarios, nil
+}
+
+// Health fetches the liveness document (GET /healthz).
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil, &h, true); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches the runtime metrics document (GET /v1/metrics).
+func (c *Client) Metrics(ctx context.Context) (*api.MetricsDoc, error) {
+	var doc api.MetricsDoc
+	if _, err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &doc, true); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// SubmitJob enqueues a sweep as an asynchronous job (POST /v1/jobs).
+// Never retried: although a duplicate submission would compute identical
+// results, it would occupy a second slot in the server's bounded
+// registry.
+func (c *Client) SubmitJob(ctx context.Context, spec api.RunSpec) (*api.JobInfo, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshaling spec: %v", err)
+	}
+	var info api.JobInfo
+	if _, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &info, false); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Job fetches one job's status (GET /v1/jobs/{id}). A job whose record
+// was retired from the server's bounded registry yields an *api.Error
+// with code api.CodeJobRetired (HTTP 410), distinct from CodeUnknownJob.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobInfo, error) {
+	var info api.JobInfo
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &info, true); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// ListJobsOptions parameterizes ListJobs. Limit <= 0 selects the server
+// default page size; PageToken continues a previous page's walk.
+type ListJobsOptions struct {
+	Limit     int
+	PageToken string
+}
+
+// ListJobs lists tracked jobs newest-first (GET /v1/jobs). Iterate pages
+// by feeding NextPageToken back in until it comes back empty.
+func (c *Client) ListJobs(ctx context.Context, opts ListJobsOptions) (*api.JobPage, error) {
+	q := url.Values{}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.PageToken != "" {
+		q.Set("page_token", opts.PageToken)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page api.JobPage
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &page, true); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// CancelJob cancels a job (DELETE /v1/jobs/{id}). Idempotent — canceling
+// a terminal job changes nothing — and retry-safe for the same reason.
+// The returned info is the state at cancellation time; in-flight runs
+// still drain, so use WaitJob for the terminal "canceled" state.
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.JobInfo, error) {
+	var info api.JobInfo
+	if _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &info, true); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// WaitJob polls a job's status until it reaches a terminal state (done,
+// failed, or canceled) and returns the terminal document. The poll
+// cadence is WithPollInterval's; ctx bounds the total wait.
+func (c *Client) WaitJob(ctx context.Context, id string) (*api.JobInfo, error) {
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if api.JobTerminal(info.Status) {
+			return info, nil
+		}
+		// A fresh timer each lap: reusing one across the Job call would
+		// leave a stale fire in its channel and degrade into a busy poll.
+		select {
+		case <-time.After(c.poll):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// do issues one request, retrying transport errors and 5xx responses
+// when retryable, and decodes a 2xx body into out (skipped when out is
+// nil). Non-2xx responses come back as *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, retryable bool) (http.Header, error) {
+	attempts := 1
+	if retryable {
+		attempts += c.retries
+	}
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+		h, retryAgain, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return h, nil
+		}
+		lastErr = err
+		if !retryAgain || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt is one wire round trip; retryAgain reports whether the failure
+// class is worth another attempt (5xx or transport error, never 4xx).
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (h http.Header, retryAgain bool, err error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: building request: %v", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", api.ContentTypeJSON)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, true, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, resp.StatusCode >= 500, api.DecodeError(resp.StatusCode, blob)
+	}
+	if out != nil {
+		if err := json.Unmarshal(blob, out); err != nil {
+			return nil, false, fmt.Errorf("client: decoding %s %s response: %v", method, path, err)
+		}
+	}
+	return resp.Header, false, nil
+}

@@ -1,0 +1,448 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/pkg/api"
+)
+
+// newTestServer spins up a real experiment server on a loopback listener.
+func newTestServer(t *testing.T, opts ...exp.ServerOption) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(exp.NewServer(exp.NewEngine(), opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newTestClient wraps a server with fast test-friendly settings.
+func newTestClient(t *testing.T, base string, opts ...Option) *Client {
+	t.Helper()
+	c, err := New(base, append([]Option{WithPollInterval(time.Millisecond)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClientRetryOn5xx pins the retry policy: a retry-safe request rides
+// through transient 5xx responses, while POST /v1/jobs is never reissued.
+func TestClientRetryOn5xx(t *testing.T) {
+	var healthCalls, submitCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthCalls.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		submitCalls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(api.Envelope{Err: &api.Error{Code: api.CodeInternal, Message: "boom"}})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, WithRetry(2, time.Millisecond))
+	health, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health after two 503s: %v", err)
+	}
+	if health.Status != "ok" || healthCalls.Load() != 3 {
+		t.Fatalf("health = %+v after %d calls, want ok on the third", health, healthCalls.Load())
+	}
+
+	// Submissions must not be replayed: one wire call, error surfaced.
+	_, err = c.SubmitJob(context.Background(), api.RunSpec{Scenario: "rowbuffer"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeInternal || apiErr.HTTPStatus != http.StatusInternalServerError {
+		t.Fatalf("submit error = %v, want the server's internal envelope", err)
+	}
+	if got := submitCalls.Load(); got != 1 {
+		t.Fatalf("submit hit the wire %d times, want exactly 1 (no retry)", got)
+	}
+
+	// With retries exhausted the typed error still comes through.
+	c0 := newTestClient(t, ts.URL, WithRetry(0, 0))
+	healthCalls.Store(0)
+	if _, err := c0.Health(context.Background()); !errors.As(err, &apiErr) || apiErr.HTTPStatus != http.StatusServiceUnavailable {
+		t.Fatalf("no-retry health error = %v, want a 503 api.Error", err)
+	}
+}
+
+// TestClientTypedErrors pins the error mapping against a real server:
+// every failure arrives as *api.Error with the documented code.
+func TestClientTypedErrors(t *testing.T) {
+	ts := newTestServer(t, exp.WithWorkers(1))
+	c := newTestClient(t, ts.URL, WithRetry(0, 0))
+	ctx := context.Background()
+
+	var apiErr *api.Error
+	_, _, err := c.Run(ctx, api.RunSpec{Scenario: "covert-warp"})
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnknownScenario || apiErr.HTTPStatus != http.StatusNotFound {
+		t.Fatalf("unknown scenario = %v", err)
+	}
+	if _, err := c.Job(ctx, "job-999999"); !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnknownJob {
+		t.Fatalf("unknown job = %v", err)
+	}
+	if _, err := c.StreamJob(ctx, "job-999999"); !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnknownJob {
+		t.Fatalf("unknown job stream = %v", err)
+	}
+	if _, _, err := c.Figure(ctx, "rowbuffer", "huge"); !errors.As(err, &apiErr) || apiErr.Code != api.CodeInvalidSpec {
+		t.Fatalf("bad scale = %v", err)
+	}
+}
+
+// TestClientRunSpecRoundTrip is the acceptance-criteria check: a spec
+// round-tripped through the typed api.RunSpec produces a byte-identical
+// response to the same document POSTed raw, and the SDK decodes exactly
+// that payload.
+func TestClientRunSpecRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	ts := newTestServer(t, exp.WithWorkers(2))
+	raw := []byte(`{
+		"scenario": "covert-pnm",
+		"scale": "quick",
+		"config": {"enable_prefetchers": false},
+		"grid": {"llc_bytes": [4194304, 8388608]}
+	}`)
+
+	post := func(body []byte) []byte {
+		resp, err := http.Post(ts.URL+"/v1/run", api.ContentTypeJSON, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/run = %d: %s", resp.StatusCode, blob)
+		}
+		return blob
+	}
+	rawBody := post(raw)
+
+	spec, err := api.ParseRunSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typedBody := post(typed)
+	if !bytes.Equal(rawBody, typedBody) {
+		t.Fatalf("typed round trip changed the response:\nraw:   %s\ntyped: %s", rawBody, typedBody)
+	}
+
+	// The SDK's decoded result re-marshals to the same document the wire
+	// carried (modulo the trailing newline every body ends with).
+	c := newTestClient(t, ts.URL)
+	res, cache, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, bytes.TrimSuffix(rawBody, []byte("\n"))) {
+		t.Fatal("SDK-decoded SweepResult does not re-marshal to the wire payload")
+	}
+	if cache.State != "hit" || cache.Hits != 2 || cache.Misses != 0 {
+		t.Fatalf("third identical sweep cache info = %+v, want a full hit", cache)
+	}
+}
+
+// TestClientJobLifecycle drives submit → stream → wait → list against a
+// real server and checks the stream agrees with the synchronous result.
+func TestClientJobLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	ts := newTestServer(t, exp.WithWorkers(2))
+	c := newTestClient(t, ts.URL)
+	ctx := context.Background()
+	spec := api.RunSpec{
+		Scenario: "covert-pnm",
+		Grid:     map[string][]json.RawMessage{"llc_bytes": {json.RawMessage(`4194304`), json.RawMessage(`8388608`)}},
+	}
+
+	sub, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || sub.Runs != 2 {
+		t.Fatalf("submitted info: %+v", sub)
+	}
+
+	stream, err := c.StreamJob(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	var streamed []api.RunResult
+	for {
+		rr, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		streamed = append(streamed, rr)
+	}
+
+	final, err := c.WaitJob(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.JobDone || final.Completed != 2 || final.SpecKey == "" {
+		t.Fatalf("terminal info: %+v", final)
+	}
+
+	// The stream carried the same runs the synchronous API returns.
+	res, _, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecKey != final.SpecKey || len(streamed) != len(res.Runs) {
+		t.Fatalf("stream/run mismatch: %d streamed vs %d runs", len(streamed), len(res.Runs))
+	}
+	for i := range streamed {
+		a, _ := json.Marshal(streamed[i])
+		b, _ := json.Marshal(res.Runs[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("streamed run %d differs:\n%s\n%s", i, a, b)
+		}
+	}
+
+	// The job shows up first in the newest-first listing.
+	page, err := c.ListJobs(ctx, ListJobsOptions{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != sub.ID {
+		t.Fatalf("listing head: %+v", page.Jobs)
+	}
+}
+
+// TestClientStreamContextCancel pins mid-stream cancellation: after the
+// context dies, the next Next returns an error instead of blocking until
+// the server finishes.
+func TestClientStreamContextCancel(t *testing.T) {
+	// A synthetic NDJSON endpoint: one line immediately, then hold the
+	// connection open until the client goes away.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+		line, _ := json.Marshal(api.RunResult{Key: "k1", Scenario: "s", Scale: "quick", Report: json.RawMessage(`{}`)})
+		w.Write(line)
+		w.Write([]byte("\n"))
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream, err := c.StreamJob(ctx, "job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+
+	rr, err := stream.Next()
+	if err != nil || rr.Key != "k1" {
+		t.Fatalf("first line = %+v, %v", rr, err)
+	}
+
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := stream.Next()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || err == io.EOF {
+			t.Fatalf("Next after cancel = %v, want a context-kill error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Next never returned after context cancellation")
+	}
+}
+
+// TestClientCancelWhileCompleting is the acceptance-criteria race: cancel
+// a job while 8 workers are completing its runs, then require a clean
+// terminal state with consistent counts and an idempotent second cancel.
+func TestClientCancelWhileCompleting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	ts := newTestServer(t, exp.WithWorkers(8))
+	c := newTestClient(t, ts.URL)
+	ctx := context.Background()
+
+	grid := make([]json.RawMessage, 8)
+	for i := range grid {
+		grid[i], _ = json.Marshal(1 << (20 + i))
+	}
+	spec := api.RunSpec{Scenario: "covert-pnm", Grid: map[string][]json.RawMessage{"llc_bytes": grid}}
+
+	canceledSeen := false
+	for round := 0; round < 6; round++ {
+		// A fresh seed each round keeps every sweep cold, so the cancel
+		// always races live simulations rather than cache replay.
+		cfg, _ := json.Marshal(map[string]any{"noise": map[string]any{"seed": 1000 + round}})
+		spec.Config = cfg
+
+		sub, err := c.SubmitJob(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stagger the cancel point across rounds: immediately, and at
+		// increasing depths into the sweep.
+		time.Sleep(time.Duration(round) * 2 * time.Millisecond)
+		if _, err := c.CancelJob(ctx, sub.ID); err != nil {
+			t.Fatal(err)
+		}
+		final, err := c.WaitJob(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch final.Status {
+		case api.JobCanceled:
+			canceledSeen = true
+			if final.Completed > final.Runs || final.SpecKey != "" {
+				t.Fatalf("round %d: canceled job inconsistent: %+v", round, final)
+			}
+		case api.JobDone:
+			if final.Completed != final.Runs || final.SpecKey == "" {
+				t.Fatalf("round %d: done job inconsistent: %+v", round, final)
+			}
+		default:
+			t.Fatalf("round %d: terminal status %q", round, final.Status)
+		}
+		if final.Hits+final.Misses != final.Completed {
+			t.Fatalf("round %d: cache counts inconsistent: %+v", round, final)
+		}
+
+		// Idempotent: a second cancel reports the same terminal state.
+		again, err := c.CancelJob(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Status != final.Status || again.Completed != final.Completed {
+			t.Fatalf("round %d: second cancel drifted: %+v vs %+v", round, again, final)
+		}
+
+		// A canceled job's stream still ends with the job_canceled line.
+		if final.Status == api.JobCanceled {
+			stream, err := c.StreamJob(ctx, sub.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				_, err := stream.Next()
+				if err == io.EOF {
+					t.Fatal("canceled job stream ended without the job_canceled line")
+				}
+				if err != nil {
+					var apiErr *api.Error
+					if !errors.As(err, &apiErr) || apiErr.Code != api.CodeJobCanceled {
+						t.Fatalf("canceled job stream error = %v", err)
+					}
+					break
+				}
+			}
+			stream.Close()
+		}
+	}
+	if !canceledSeen {
+		t.Fatal("no round actually landed in canceled; the race never happened")
+	}
+}
+
+// TestClientWaitJobContext pins WaitJob's context handling: a never-
+// finishing poll loop unwinds when the context dies.
+func TestClientWaitJobContext(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.JobInfo{ID: r.PathValue("id"), Status: api.JobRunning})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.WaitJob(ctx, "job-000001"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitJob = %v, want deadline exceeded", err)
+	}
+}
+
+// TestClientHealthAndScenarios smoke-tests the remaining unary surface
+// against a real server.
+func TestClientHealthAndScenarios(t *testing.T) {
+	ts := newTestServer(t, exp.WithWorkers(1))
+	c := newTestClient(t, ts.URL)
+	ctx := context.Background()
+
+	health, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || !strings.HasPrefix(health.Go, "go") {
+		t.Fatalf("health = %+v", health)
+	}
+	scenarios, err := c.Scenarios(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) == 0 {
+		t.Fatal("no scenarios listed")
+	}
+	metricsDoc, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := metricsDoc.Requests["run"]; !ok {
+		t.Fatalf("metrics missing run route: %+v", metricsDoc.Requests)
+	}
+}
+
+// TestNewValidation pins constructor validation.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Fatal("empty base URL accepted")
+	}
+	if _, err := New("://nope"); err == nil {
+		t.Fatal("malformed base URL accepted")
+	}
+	c, err := New("localhost:8322")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://localhost:8322" {
+		t.Fatalf("scheme default: %q", c.base)
+	}
+}

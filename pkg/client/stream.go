@@ -1,0 +1,99 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/pkg/api"
+)
+
+// streamBufferCap bounds one NDJSON line; report documents are a few KiB,
+// so 16 MiB is comfortably above anything the server emits.
+const streamBufferCap = 16 << 20
+
+// JobStream iterates the NDJSON result stream of GET /v1/jobs/{id}/stream,
+// yielding each api.RunResult as the server finishes (or replays) that
+// run. Not safe for concurrent use; always Close it.
+type JobStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+	done bool
+}
+
+// StreamJob opens a job's result stream. The stream lives outside the
+// client's unary timeout — a long sweep may hold it open indefinitely —
+// so bound it with ctx: canceling ctx fails the next Next with the
+// context's error. Streams are never retried (a replayed stream could
+// re-deliver runs the caller already consumed).
+func (c *Client) StreamJob(ctx context.Context, id string) (*JobStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building stream request: %v", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: opening job stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, api.DecodeError(resp.StatusCode, blob)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), streamBufferCap)
+	return &JobStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the stream's next run. It blocks while the server waits
+// on the sweep, and finishes three ways: io.EOF on a cleanly completed
+// stream, an *api.Error when the server ends a failed or canceled sweep
+// with its trailing error line (codes api.CodeRunFailed and
+// api.CodeJobCanceled), or the underlying read error when the connection
+// (or the StreamJob context) dies mid-stream.
+func (s *JobStream) Next() (api.RunResult, error) {
+	if s.done {
+		return api.RunResult{}, io.EOF
+	}
+	if !s.sc.Scan() {
+		s.done = true
+		if err := s.sc.Err(); err != nil {
+			return api.RunResult{}, fmt.Errorf("client: job stream: %w", err)
+		}
+		return api.RunResult{}, io.EOF
+	}
+	line := s.sc.Bytes()
+
+	// A line is either a RunResult or the trailing error envelope; probe
+	// for the envelope first since error lines carry no "key" field.
+	var probe struct {
+		Key   string     `json:"key"`
+		Error *api.Error `json:"error"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		s.done = true
+		return api.RunResult{}, fmt.Errorf("client: job stream line: %v", err)
+	}
+	if probe.Error != nil {
+		s.done = true
+		return api.RunResult{}, probe.Error
+	}
+	var rr api.RunResult
+	if err := json.Unmarshal(line, &rr); err != nil {
+		s.done = true
+		return api.RunResult{}, fmt.Errorf("client: job stream line: %v", err)
+	}
+	return rr, nil
+}
+
+// Close releases the stream's connection. Safe to call at any point,
+// including after Next returned io.EOF or an error.
+func (s *JobStream) Close() error {
+	s.done = true
+	return s.body.Close()
+}
