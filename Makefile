@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke
+.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke
 
-ci: fmt vet build test race sweep-smoke client-smoke loadtest-smoke jobs-smoke bench-smoke
+ci: fmt vet build test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -19,12 +19,13 @@ test:
 
 # The parallel experiment runners, the sharded+deduped result cache, the
 # async job lifecycle (including DELETE-races-the-worker-pool
-# cancellation), the durable store, the lock-free metrics, and the Go SDK
-# must stay race-clean and deterministic.
+# cancellation), the durable store, the job journal with its graceful
+# drain and crash recovery, the lock-free metrics, and the Go SDK must
+# stay race-clean and deterministic.
 race:
 	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
 	$(GO) test -race ./internal/metrics
-	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore'
+	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore|TestJournal|TestGraceful|TestCrash|TestCancelBeats|TestRunPanic'
 	$(GO) test -race ./pkg/client
 
 # Quick regression signal on the allocation-free hot path.
@@ -48,6 +49,13 @@ loadtest-smoke:
 # The full reproducible benchmark run recorded in docs/benchmark.md.
 loadtest:
 	$(GO) run ./cmd/impact-bench -inprocess -workers 8 -duration 30s -run-frac 0.5 -cold 0.05
+
+# Crash-recovery smoke: build the real server binary, kill it -9 mid-job,
+# restart it on the same -data-dir, and require the interrupted job to
+# complete with a byte-identical sweep (see cmd/impact-server's
+# TestRecoverySmoke).
+recovery-smoke:
+	$(GO) test -run TestRecoverySmoke -count=1 ./cmd/impact-server
 
 # Async job API smoke: the full submit → stream → poll lifecycle against
 # an in-process server backed by a temp durable store, 8 workers, -smoke

@@ -12,16 +12,29 @@
 // first computation, with identical in-flight requests deduplicated onto
 // one simulation; with -data-dir the cache is additionally backed by a
 // durable disk store, so a restarted server answers previously computed
-// sweeps without re-simulating. See docs/api.md for the full wire
-// contract and cmd/impact-bench for the matching load generator.
+// sweeps without re-simulating.
+//
+// With -data-dir the async job registry is durable too: accepted jobs
+// journal their spec and lifecycle under <data-dir>/jobs, SIGINT/SIGTERM
+// drains gracefully (new submissions get 503, in-flight runs finish and
+// land in the store, interrupted jobs journal a resumable state, all
+// within -drain-timeout), and a restart on the same data dir re-enqueues
+// every job the previous process left unfinished — skipping the runs it
+// already computed. A second signal during the drain kills immediately.
+// See docs/api.md for the full wire contract and docs/architecture.md for
+// the recovery flow.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
@@ -34,15 +47,18 @@ func main() {
 	}
 }
 
-// run parses flags and serves until the listener fails. When ready is
-// non-nil the bound address is sent on it once the listener is up (tests
-// use this to connect to a :0 listener).
+// run parses flags and serves until the listener fails or a termination
+// signal starts the graceful drain. When ready is non-nil the bound
+// address is sent on it once the listener is up (tests use this to
+// connect to a :0 listener).
 func run(args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("impact-server", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8322", "listen address")
 	workers := fs.Int("workers", 0, "per-request simulation pool size (0 = all cores)")
-	dataDir := fs.String("data-dir", "", "durable result store directory (empty = in-memory cache only)")
+	dataDir := fs.String("data-dir", "", "durable result store + job journal directory (empty = in-memory only)")
 	maxJobs := fs.Int("max-jobs", 0, "async job registry bound; finished jobs retire FIFO (0 = default 256)")
+	drain := fs.Duration("drain-timeout", 30*time.Second,
+		"graceful-shutdown budget: in-flight jobs finish and journal before exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,8 +68,12 @@ func run(args []string, ready chan<- string) error {
 	if *maxJobs < 0 {
 		return fmt.Errorf("negative job bound %d", *maxJobs)
 	}
+	if *drain <= 0 {
+		return fmt.Errorf("non-positive drain timeout %s", *drain)
+	}
 
 	var engineOpts []exp.EngineOption
+	serverOpts := []exp.ServerOption{exp.WithWorkers(*workers), exp.WithMaxJobs(*maxJobs)}
 	if *dataDir != "" {
 		store, err := exp.NewStore(*dataDir)
 		if err != nil {
@@ -61,8 +81,19 @@ func run(args []string, ready chan<- string) error {
 		}
 		engineOpts = append(engineOpts, exp.WithStore(store))
 		fmt.Fprintf(os.Stderr, "impact-server: durable result store at %s\n", store.Dir())
+		// The journal lives beside the store's two-hex-digit fan-out dirs;
+		// the names cannot collide.
+		journal, err := exp.NewJournal(filepath.Join(*dataDir, "jobs"))
+		if err != nil {
+			return err
+		}
+		serverOpts = append(serverOpts, exp.WithJournal(journal))
 	}
 	engine := exp.NewEngine(engineOpts...)
+	expSrv := exp.NewServer(engine, serverOpts...)
+	if n := expSrv.JobsStats().Resumed; n > 0 {
+		fmt.Fprintf(os.Stderr, "impact-server: resumed %d unfinished job(s) from the journal\n", n)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -75,11 +106,40 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	srv := &http.Server{
-		Handler: exp.NewServer(engine, exp.WithWorkers(*workers), exp.WithMaxJobs(*maxJobs)).Handler(),
+		Handler: expSrv.Handler(),
 		// Bound how long a client may dribble headers/body so stalled
 		// connections cannot pin goroutines and file descriptors.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 	}
-	return srv.Serve(ln)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Restore default signal handling: a second SIGINT/SIGTERM during the
+	// drain kills the process immediately.
+	stop()
+
+	fmt.Fprintf(os.Stderr, "impact-server: draining (up to %s): in-flight jobs finish and journal\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Quiesce the job registry before the HTTP listener: job streams hold
+	// their connections until the job settles, so draining jobs first is
+	// what lets srv.Shutdown below see those connections go idle.
+	if err := expSrv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "impact-server: drain incomplete:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(os.Stderr, "impact-server: drained cleanly")
+	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/figures"
@@ -219,8 +220,19 @@ func (e *Engine) execute(ctx context.Context, runs []Run, workers int, onRun fun
 	return out, nil
 }
 
-// executeRun simulates one concrete run and marshals its report.
-func executeRun(r Run) (json.RawMessage, error) {
+// executeRun simulates one concrete run and marshals its report. A panic
+// inside the simulator is confined here: it becomes this run's error (and
+// so a failed sweep), never a dead worker goroutine or a crashed process
+// taking every other job down with it.
+func executeRun(r Run) (blob json.RawMessage, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("run panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	if err := failpoint("engine.run"); err != nil {
+		return nil, err
+	}
 	rep, err := r.scn.run(r.Config, r.Scale)
 	if err != nil {
 		return nil, err

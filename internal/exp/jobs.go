@@ -14,13 +14,15 @@ import (
 
 // Job statuses, in lifecycle order (re-exported from the pkg/api wire
 // contract). A job is terminal once it reaches JobDone, JobFailed, or
-// JobCanceled.
+// JobCanceled; JobInterrupted is the non-terminal shutdown state a
+// restarted server resumes from.
 const (
-	JobQueued   = api.JobQueued
-	JobRunning  = api.JobRunning
-	JobDone     = api.JobDone
-	JobFailed   = api.JobFailed
-	JobCanceled = api.JobCanceled
+	JobQueued      = api.JobQueued
+	JobRunning     = api.JobRunning
+	JobInterrupted = api.JobInterrupted
+	JobDone        = api.JobDone
+	JobFailed      = api.JobFailed
+	JobCanceled    = api.JobCanceled
 )
 
 // JobInfo is the wire form of a job's state (see api.JobInfo).
@@ -40,14 +42,37 @@ const (
 	MaxJobPageSize     = 500
 )
 
+// progressJournalEvery throttles the per-run progress watermark: the
+// journal is rewritten at every lifecycle transition and then every this
+// many completed runs. The watermark is advisory — recovery skips
+// already-computed runs by consulting the content-addressed store, not
+// this number — so a coarse cadence costs nothing but a slightly stale
+// "completed" count in the record.
+const progressJournalEvery = 16
+
 // ErrTooManyJobs tags submissions rejected because the registry is full
-// of jobs that are still queued or running (servers map it to 429).
+// of jobs that are still queued or running (servers map it to 429 with a
+// Retry-After hint).
 var ErrTooManyJobs = errors.New("exp: job registry full (all tracked jobs still queued or running)")
 
 // ErrJobCanceled is the terminal error of a canceled job: the sweep
 // stopped scheduling runs after DELETE /v1/jobs/{id}. Runs that finished
 // before the cancel remain cached.
 var ErrJobCanceled = errors.New("exp: job canceled")
+
+// ErrJobInterrupted marks a job caught mid-execution by graceful
+// shutdown: its progress is journaled and a server restarted on the same
+// data dir re-enqueues it under the same ID.
+var ErrJobInterrupted = errors.New("exp: job interrupted by server shutdown; a restart on the same data dir resumes it")
+
+// ErrShuttingDown tags submissions rejected because the registry is
+// draining for shutdown (servers map it to 503).
+var ErrShuttingDown = errors.New("exp: server shutting down; no new jobs accepted")
+
+// ErrJournalUnavailable tags submissions rejected because the durable ID
+// allocation write failed: handing out an ID the journal cannot cover
+// would let a rebooted server reissue it to a different job.
+var ErrJournalUnavailable = errors.New("exp: job journal unavailable")
 
 // Fixed counter IDs for job statistics, in the slot order passed to
 // metrics.NewSet in NewJobs.
@@ -58,6 +83,8 @@ const (
 	jobsFailed
 	jobsCanceled
 	jobsRetired
+	jobsResumed
+	jobsRunsSkipped
 )
 
 // Job is one asynchronous sweep: a spec expanded at submission, executed
@@ -66,26 +93,35 @@ const (
 // (for late polls and stream replays) until the registry retires the job.
 // Cancellation travels through the job's context into Engine.execute:
 // once canceled, no further runs are scheduled and the job lands in the
-// terminal canceled state.
+// terminal canceled state. A graceful shutdown travels the same path but
+// lands in the non-terminal interrupted state, whose journal record a
+// restarted registry resumes from.
 type Job struct {
 	// ID names the job in the HTTP API ("job-000001", …).
 	ID string
 
-	seq    int
-	runs   []Run
-	ctx    context.Context
-	cancel context.CancelFunc
+	seq     int
+	runs    []Run
+	ctx     context.Context
+	cancel  context.CancelFunc
+	resumed bool // re-enqueued from the journal after a restart
 
-	mu        sync.Mutex
-	notify    chan struct{} // closed and replaced on every state change
-	status    string
-	results   []RunResult
-	ready     []bool
-	completed int
-	hits      int // completed runs served from cache
-	misses    int // completed runs that were simulated
-	specKey   string
-	err       error
+	mu           sync.Mutex
+	notify       chan struct{} // closed and replaced on every state change
+	status       string
+	results      []RunResult
+	ready        []bool
+	completed    int
+	hits         int // completed runs served from cache
+	misses       int // completed runs that were simulated
+	specKey      string
+	err          error
+	userCanceled bool // Cancel was called; beats interrupted in finish
+	interrupted  bool // Quiesce caught the job before it finished
+
+	journalMu     sync.Mutex
+	lastJournaled int  // completed count at the last progress record
+	journalClosed bool // final record written; no further journal writes
 }
 
 // Total returns the number of concrete runs the job's spec expanded into.
@@ -102,6 +138,7 @@ func (j *Job) Info() JobInfo {
 		Completed: j.completed,
 		Hits:      j.hits,
 		Misses:    j.misses,
+		Resumed:   j.resumed,
 		SpecKey:   j.specKey,
 	}
 	if j.err != nil {
@@ -110,8 +147,15 @@ func (j *Job) Info() JobInfo {
 	return info
 }
 
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
 // Err returns the job's failure, if any (nil while non-terminal;
-// ErrJobCanceled after a cancel).
+// ErrJobCanceled after a cancel, ErrJobInterrupted during drain).
 func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -122,12 +166,37 @@ func (j *Job) Err() error {
 // terminal: the context unwinds Engine.execute, which stops scheduling
 // runs, and the job reaches the terminal canceled state when the sweep's
 // in-flight runs drain. Callers observe the transition via Info/WaitRun.
-func (j *Job) Cancel() { j.cancel() }
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	j.userCanceled = true
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// interrupt is the shutdown path's cancellation: the sweep unwinds the
+// same way, but finish lands in the resumable interrupted state instead
+// of the terminal canceled one. A cancel the user already requested wins
+// — an acknowledged DELETE must not resurrect as a resumed job.
+func (j *Job) interrupt() {
+	j.mu.Lock()
+	if !api.JobTerminal(j.status) && !j.userCanceled {
+		j.interrupted = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// settled reports whether the job will produce no further results: it is
+// terminal, or interrupted (owing its remaining results to the process
+// that resumes it).
+func settled(status string) bool {
+	return api.JobTerminal(status) || status == JobInterrupted
+}
 
 // WaitRun blocks until run i's result is available and returns it; ok is
-// false when the job reached a terminal state without producing run i
-// (a failed or canceled sweep) or ctx was canceled first. Results arrive
-// in sweep completion order internally, so waiting index by index streams
+// false when the job settled without producing run i (a failed, canceled,
+// or interrupted sweep) or ctx was canceled first. Results arrive in
+// sweep completion order internally, so waiting index by index streams
 // them in deterministic expansion order.
 func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
 	for {
@@ -137,7 +206,7 @@ func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
 			j.mu.Unlock()
 			return rr, true
 		}
-		if api.JobTerminal(j.status) {
+		if settled(j.status) {
 			j.mu.Unlock()
 			return RunResult{}, false
 		}
@@ -173,8 +242,9 @@ func (j *Job) onRun(i int, rr RunResult) {
 	j.signal()
 }
 
-// finish moves the job to its terminal state: done on success, canceled
-// when the sweep was cut short by Cancel, failed otherwise.
+// finish moves the job to its settled state: done on success; canceled
+// when the sweep was cut short by Cancel; interrupted when graceful
+// shutdown cut it short (resumable, not terminal); failed otherwise.
 func (j *Job) finish(res *SweepResult, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -182,6 +252,9 @@ func (j *Job) finish(res *SweepResult, err error) {
 	case err == nil:
 		j.status = JobDone
 		j.specKey = res.SpecKey
+	case errors.Is(err, ErrSweepCanceled) && !j.userCanceled && j.interrupted:
+		j.status = JobInterrupted
+		j.err = ErrJobInterrupted
 	case errors.Is(err, ErrSweepCanceled):
 		j.status = JobCanceled
 		j.err = ErrJobCanceled
@@ -207,23 +280,35 @@ func (j *Job) terminal() bool {
 // retired FIFO to make room, and if every tracked job is still queued or
 // running the submission is rejected with ErrTooManyJobs — so memory
 // stays flat no matter how many sweeps a long-lived server has answered.
-// Safe for concurrent use.
+//
+// With a Journal attached, every accepted job is durable: its spec and
+// lifecycle transitions persist under the data dir, Quiesce drains
+// in-flight work into resumable interrupted records on shutdown, and
+// Recover re-enqueues every non-terminal job on boot — resumed sweeps
+// consult the content-addressed store first, so recovery re-simulates
+// only the runs the crash actually lost. Safe for concurrent use.
 type Jobs struct {
 	engine  *Engine
 	workers int
 	max     int
+	journal *Journal // nil = in-memory registry only
 	met     *metrics.Set
+	wg      sync.WaitGroup // live job goroutines, for Quiesce
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string // submission order, for FIFO retirement
-	seq   int
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string // submission order, for FIFO retirement
+	seq         int
+	seqReserved int  // highest seq the on-disk SEQ watermark covers
+	quiescing   bool // draining for shutdown; reject new submissions
 }
 
 // NewJobs returns an empty registry; workers bounds each job's simulation
-// pool (0 = all cores) and max bounds the registry (<= 0 selects
-// DefaultMaxJobs).
-func NewJobs(engine *Engine, workers, max int) *Jobs {
+// pool (0 = all cores), max bounds the registry (<= 0 selects
+// DefaultMaxJobs), and journal (nil for in-memory only) makes accepted
+// jobs durable. With a journal, call Recover before serving to re-enqueue
+// work a previous process left behind.
+func NewJobs(engine *Engine, workers, max int, journal *Journal) *Jobs {
 	if max <= 0 {
 		max = DefaultMaxJobs
 	}
@@ -231,14 +316,20 @@ func NewJobs(engine *Engine, workers, max int) *Jobs {
 		engine:  engine,
 		workers: workers,
 		max:     max,
-		met:     metrics.NewSet("submitted", "rejected", "completed", "failed", "canceled", "retired"),
-		jobs:    make(map[string]*Job),
+		journal: journal,
+		met: metrics.NewSet("submitted", "rejected", "completed", "failed",
+			"canceled", "retired", "resumed", "runs_skipped_on_resume"),
+		jobs: make(map[string]*Job),
 	}
 }
 
 // Submit validates and enqueues a spec, returning the queued job. The
 // spec is expanded synchronously so malformed submissions fail with the
-// same errors as POST /v1/run; execution happens in the background.
+// same errors as POST /v1/run; execution happens in the background. With
+// a journal, the job's ID allocation is made durable before the ID is
+// returned (a failed watermark write rejects the submission — an ID a
+// rebooted server could reissue must never escape), and the spec and
+// queued-status records follow best-effort.
 func (js *Jobs) Submit(spec Spec) (*Job, error) {
 	runs, err := spec.Expand()
 	if err != nil {
@@ -246,14 +337,35 @@ func (js *Jobs) Submit(spec Spec) (*Job, error) {
 	}
 
 	js.mu.Lock()
+	if js.quiescing {
+		js.mu.Unlock()
+		js.met.Add(jobsRejected, 1)
+		return nil, ErrShuttingDown
+	}
+	var retired []string
 	for len(js.jobs) >= js.max {
-		if !js.retireOldestLocked() {
+		id, ok := js.retireOldestLocked()
+		if !ok {
 			js.mu.Unlock()
 			js.met.Add(jobsRejected, 1)
 			return nil, ErrTooManyJobs
 		}
+		retired = append(retired, id)
 	}
 	js.seq++
+	if js.journal != nil && js.seq > js.seqReserved {
+		// Reserve a chunk of IDs on disk before this one escapes. Held
+		// under js.mu so the watermark only ever moves forward; it is one
+		// fsync per seqChunk submissions, not per submission.
+		target := js.seq + seqChunk
+		if err := js.journal.RecordSeq(target); err != nil {
+			js.seq--
+			js.mu.Unlock()
+			js.met.Add(jobsRejected, 1)
+			return nil, fmt.Errorf("%w: %v", ErrJournalUnavailable, err)
+		}
+		js.seqReserved = target
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		ID:      formatJobID(js.seq),
@@ -268,40 +380,207 @@ func (js *Jobs) Submit(spec Spec) (*Job, error) {
 	}
 	js.jobs[j.ID] = j
 	js.order = append(js.order, j.ID)
+	js.wg.Add(1)
 	js.mu.Unlock()
 
+	for _, id := range retired {
+		js.journalRemove(id)
+	}
+	if js.journal != nil {
+		// Best-effort durability from here: a failed write degrades to a
+		// job that may not survive a restart, counted in journal_errors,
+		// never to a wrong or duplicate job.
+		js.journal.RecordSpec(j.ID, spec)
+	}
+	js.journalState(j, true)
 	js.met.Add(jobsSubmitted, 1)
 	go js.run(j)
 	return j, nil
 }
 
-// run executes one job to its terminal state.
+// run executes one job to its settled state.
 func (js *Jobs) run(j *Job) {
+	defer js.wg.Done()
 	// Release the cancel context's resources once the sweep has drained,
-	// whatever the terminal state.
+	// whatever the settled state.
 	defer j.cancel()
 
 	j.mu.Lock()
 	j.status = JobRunning
 	j.signal()
 	j.mu.Unlock()
+	js.journalState(j, true)
 
-	res, err := js.engine.execute(j.ctx, j.runs, js.workers, j.onRun)
+	res, err := js.engine.execute(j.ctx, j.runs, js.workers, func(i int, rr RunResult) {
+		j.onRun(i, rr)
+		if j.resumed && rr.Cached {
+			js.met.Add(jobsRunsSkipped, 1)
+		}
+		js.journalState(j, false)
+	})
 	j.finish(res, err)
-	switch {
-	case err == nil:
+	js.journalState(j, true)
+	switch j.Status() {
+	case JobDone:
 		js.met.Add(jobsCompleted, 1)
-	case errors.Is(err, ErrSweepCanceled):
+	case JobCanceled:
 		js.met.Add(jobsCanceled, 1)
+	case JobInterrupted:
+		// Not terminal: the restarted registry's resume counters pick the
+		// job back up.
 	default:
 		js.met.Add(jobsFailed, 1)
 	}
 }
 
-// retireOldestLocked drops the oldest terminal job, reporting whether one
-// existed. Queued and running jobs are never retired: a job a client is
-// still waiting on cannot disappear. Callers must hold js.mu.
-func (js *Jobs) retireOldestLocked() bool {
+// journalState persists the job's current state. force bypasses the
+// progress throttle (lifecycle transitions always hit disk; per-run
+// progress every progressJournalEvery completions). The record written
+// for a settled state is the job's last — later calls no-op, so a slow
+// progress writer can never overwrite a terminal record with "running".
+func (js *Jobs) journalState(j *Job, force bool) {
+	if js.journal == nil {
+		return
+	}
+	j.journalMu.Lock()
+	defer j.journalMu.Unlock()
+	if j.journalClosed {
+		return
+	}
+	j.mu.Lock()
+	st := journalStatus{
+		Status:    j.status,
+		Completed: j.completed,
+		Resumed:   j.resumed,
+		SpecKey:   j.specKey,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	j.mu.Unlock()
+	if !force && st.Completed-j.lastJournaled < progressJournalEvery {
+		return
+	}
+	j.lastJournaled = st.Completed
+	js.journal.RecordStatus(j.ID, st)
+	if settled(st.Status) {
+		j.journalClosed = true
+	}
+}
+
+// journalRemove drops a retired job's records, if a journal is attached.
+func (js *Jobs) journalRemove(id string) {
+	if js.journal != nil {
+		js.journal.Remove(id)
+	}
+}
+
+// Quiesce drains the registry for graceful shutdown: new submissions are
+// rejected, every live job is interrupted (in-flight runs finish and are
+// stored; no new runs are scheduled), and Quiesce returns once every job
+// goroutine has flushed its final journal record — or ctx expires first.
+// After a clean quiesce the journal holds a complete, resumable picture
+// of every job the shutdown cut short.
+func (js *Jobs) Quiesce(ctx context.Context) error {
+	js.mu.Lock()
+	js.quiescing = true
+	live := make([]*Job, 0, len(js.jobs))
+	for _, j := range js.jobs {
+		live = append(live, j)
+	}
+	js.mu.Unlock()
+	for _, j := range live {
+		j.interrupt()
+	}
+	done := make(chan struct{})
+	go func() {
+		js.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("exp: quiesce: %w", ctx.Err())
+	}
+}
+
+// Recover replays the journal into the registry: the ID-allocation
+// watermark is restored (so no past ID is ever reissued), terminal
+// records are cleaned up (their results live in the content-addressed
+// store; the IDs answer 410 like any retired job), and every non-terminal
+// job — queued, running, or interrupted — is re-enqueued under its
+// original ID with Resumed set. Resumed sweeps hit the durable store for
+// every run a previous process completed, so recovery re-simulates only
+// lost work. Returns the number of jobs re-enqueued. Call once, before
+// the registry starts serving.
+func (js *Jobs) Recover() int {
+	if js.journal == nil {
+		return 0
+	}
+	seq, entries := js.journal.Recover()
+	js.mu.Lock()
+	if seq > js.seq {
+		js.seq = seq
+	}
+	// Force a fresh reservation on the next submission: the new chunk
+	// starts above everything recovered, so the watermark never regresses.
+	js.seqReserved = 0
+	js.mu.Unlock()
+
+	resumed := 0
+	for _, e := range entries {
+		if api.JobTerminal(e.Status.Status) {
+			js.journal.Remove(e.ID)
+			js.met.Add(jobsRetired, 1)
+			continue
+		}
+		runs, err := e.Spec.Expand()
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &Job{
+			ID:      e.ID,
+			seq:     e.Seq,
+			runs:    runs,
+			ctx:     ctx,
+			cancel:  cancel,
+			notify:  make(chan struct{}),
+			status:  JobQueued,
+			resumed: true,
+			results: make([]RunResult, len(runs)),
+			ready:   make([]bool, len(runs)),
+		}
+		js.mu.Lock()
+		js.jobs[j.ID] = j
+		js.order = append(js.order, j.ID)
+		js.mu.Unlock()
+		js.met.Add(jobsResumed, 1)
+		if err != nil {
+			// The journaled spec no longer expands (scenario registry
+			// drift, config schema change): fail the job loudly under its
+			// own ID rather than silently dropping accepted work.
+			j.mu.Lock()
+			j.status = JobFailed
+			j.err = fmt.Errorf("exp: resumed job spec no longer expands: %w", err)
+			j.mu.Unlock()
+			js.journalState(j, true)
+			js.met.Add(jobsFailed, 1)
+			cancel()
+			continue
+		}
+		js.mu.Lock()
+		js.wg.Add(1)
+		js.mu.Unlock()
+		resumed++
+		go js.run(j)
+	}
+	return resumed
+}
+
+// retireOldestLocked drops the oldest terminal job, reporting its ID and
+// whether one existed. Queued and running jobs are never retired: a job a
+// client is still waiting on cannot disappear. Callers must hold js.mu
+// and remove the journal records outside the lock.
+func (js *Jobs) retireOldestLocked() (string, bool) {
 	for i, id := range js.order {
 		if !js.jobs[id].terminal() {
 			continue
@@ -309,9 +588,9 @@ func (js *Jobs) retireOldestLocked() bool {
 		js.order = append(js.order[:i], js.order[i+1:]...)
 		delete(js.jobs, id)
 		js.met.Add(jobsRetired, 1)
-		return true
+		return id, true
 	}
-	return false
+	return "", false
 }
 
 // Get returns a tracked job by ID.
@@ -337,7 +616,9 @@ const (
 // Lookup resolves an ID to its job, or explains its absence. Retirement
 // is detected without any per-retired-job memory: IDs are dense sequence
 // numbers, so a canonical ID at or below the current sequence that is no
-// longer tracked must have been retired.
+// longer tracked must have been retired. (After a crash recovery the
+// sequence may include a small reserved gap of never-issued IDs, which
+// also answer retired — conservatively harmless.)
 func (js *Jobs) Lookup(id string) (*Job, LookupState) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
@@ -412,18 +693,25 @@ func parseJobID(id string) (int, bool) {
 	return seq, true
 }
 
-// Stats snapshots all counters.
+// Stats snapshots all counters, including the attached journal's.
 func (js *Jobs) Stats() JobsStats {
 	js.mu.Lock()
 	tracked := int64(len(js.jobs))
 	js.mu.Unlock()
-	return JobsStats{
-		Submitted: js.met.Value(jobsSubmitted),
-		Rejected:  js.met.Value(jobsRejected),
-		Completed: js.met.Value(jobsCompleted),
-		Failed:    js.met.Value(jobsFailed),
-		Canceled:  js.met.Value(jobsCanceled),
-		Retired:   js.met.Value(jobsRetired),
-		Tracked:   tracked,
+	st := JobsStats{
+		Submitted:           js.met.Value(jobsSubmitted),
+		Rejected:            js.met.Value(jobsRejected),
+		Completed:           js.met.Value(jobsCompleted),
+		Failed:              js.met.Value(jobsFailed),
+		Canceled:            js.met.Value(jobsCanceled),
+		Retired:             js.met.Value(jobsRetired),
+		Tracked:             tracked,
+		Resumed:             js.met.Value(jobsResumed),
+		RunsSkippedOnResume: js.met.Value(jobsRunsSkipped),
 	}
+	if js.journal != nil {
+		st.JournalErrors = js.journal.errorCount()
+		st.JournalCorruptDropped = js.journal.corruptCount()
+	}
+	return st
 }

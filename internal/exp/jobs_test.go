@@ -227,7 +227,7 @@ func blockRun(eng *Engine, key string) (release func(blob json.RawMessage, err e
 // live jobs rejects with 429 rather than evicting work in progress.
 func TestJobsRegistryBound(t *testing.T) {
 	eng := NewEngine()
-	jobs := NewJobs(eng, 1, 1)
+	jobs := NewJobs(eng, 1, 1, nil)
 	spec, err := ParseSpec([]byte(`{"scenario": "rowbuffer"}`))
 	if err != nil {
 		t.Fatal(err)

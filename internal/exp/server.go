@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -49,6 +50,7 @@ type Server struct {
 	engine  *Engine
 	workers int
 	maxJobs int
+	journal *Journal
 	jobs    *Jobs
 	met     *metrics.Groups
 }
@@ -68,18 +70,43 @@ func WithMaxJobs(n int) ServerOption {
 	return func(s *Server) { s.maxJobs = n }
 }
 
-// NewServer wraps an engine with the v1 HTTP surface; see WithWorkers
-// and WithMaxJobs for the tunables.
+// WithJournal makes the job registry durable: accepted jobs persist to
+// the journal, and NewServer replays it — re-enqueueing every job a
+// previous process left unfinished — before the server takes traffic.
+func WithJournal(jl *Journal) ServerOption {
+	return func(s *Server) { s.journal = jl }
+}
+
+// NewServer wraps an engine with the v1 HTTP surface; see WithWorkers,
+// WithMaxJobs, and WithJournal for the tunables. With a journal attached,
+// recovery runs here: by the time NewServer returns, interrupted jobs are
+// already executing again.
 func NewServer(engine *Engine, opts ...ServerOption) *Server {
 	s := &Server{engine: engine}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.jobs = NewJobs(engine, s.workers, s.maxJobs)
+	s.jobs = NewJobs(engine, s.workers, s.maxJobs, s.journal)
+	s.jobs.Recover()
 	s.met = metrics.NewGroups(routeNames, []string{"requests", "errors"},
 		"latency_ns", metrics.LatencyBounds())
 	return s
 }
+
+// Shutdown gracefully drains the server's background work: new job
+// submissions are rejected with 503 shutting_down, live jobs are
+// interrupted (in-flight runs finish and land in the durable store, the
+// journal records a resumable interrupted state), and Shutdown returns
+// once every job goroutine has flushed — or ctx expires. Call before the
+// HTTP listener's own Shutdown: quiescing first unblocks any job streams
+// still holding connections open.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.Quiesce(ctx)
+}
+
+// JobsStats snapshots the job registry counters (for post-recovery
+// logging in cmd/impact-server).
+func (s *Server) JobsStats() JobsStats { return s.jobs.Stats() }
 
 // routeID labels the instrumented routes, in the counter slot order built
 // in NewServer.
@@ -283,6 +310,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Submit(spec)
 	if err != nil {
 		status, code := statusFor(err)
+		if status == http.StatusTooManyRequests {
+			// A slot opens as soon as one live job finishes; 1s is an honest
+			// hint for well-behaved clients (pkg/client surfaces it).
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, status, code, err)
 		return
 	}
@@ -389,8 +421,11 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := job.Err(); err != nil {
 		code := api.CodeRunFailed
-		if errors.Is(err, ErrJobCanceled) {
+		switch {
+		case errors.Is(err, ErrJobCanceled):
 			code = api.CodeJobCanceled
+		case errors.Is(err, ErrJobInterrupted):
+			code = api.CodeJobInterrupted
 		}
 		line, _ := json.Marshal(api.Envelope{Err: &api.Error{Code: code, Message: err.Error()}})
 		w.Write(line)
@@ -501,6 +536,12 @@ func statusFor(err error) (int, api.ErrorCode) {
 	}
 	if errors.Is(err, ErrTooManyJobs) {
 		return http.StatusTooManyRequests, api.CodeTooManyJobs
+	}
+	if errors.Is(err, ErrShuttingDown) {
+		return http.StatusServiceUnavailable, api.CodeShuttingDown
+	}
+	if errors.Is(err, ErrJournalUnavailable) {
+		return http.StatusServiceUnavailable, api.CodeInternal
 	}
 	if errors.Is(err, ErrSweepCanceled) {
 		return 499, api.CodeJobCanceled

@@ -1,9 +1,7 @@
 package exp
 
 import (
-	"bytes"
 	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,10 +37,12 @@ const storeMagic = "impactstore1"
 //
 // Every entry file is "impactstore1 <payload-bytes> <hex sha256>\n"
 // followed by the report bytes; writes go through a temp file in the
-// final directory plus an atomic rename, and reads verify the length and
-// checksum, silently discarding corrupt or truncated entries (the next
-// Put rewrites them clean). The store is best-effort by design: any I/O
-// failure degrades to a cache miss, never to a wrong answer.
+// final directory, an atomic rename, and a directory fsync (so a
+// published entry survives power loss, not just process death), and
+// reads verify the length and checksum, silently discarding corrupt or
+// truncated entries (the next Put rewrites them clean). The store is
+// best-effort by design: any I/O failure degrades to a cache miss, never
+// to a wrong answer.
 //
 // Safe for concurrent use; all counters land in lock-free metrics.Set
 // slots exported on /v1/metrics.
@@ -105,7 +105,7 @@ func (s *Store) Get(key string) (json.RawMessage, bool) {
 		s.met.Add(storeMisses, 1)
 		return nil, false
 	}
-	blob, ok := decodeEntry(data)
+	blob, ok := decodeRecord(storeMagic, data)
 	if !ok {
 		os.Remove(path)
 		s.met.Add(storeCorrupt, 1)
@@ -114,32 +114,6 @@ func (s *Store) Get(key string) (json.RawMessage, bool) {
 	}
 	s.met.Add(storeHits, 1)
 	return blob, true
-}
-
-// decodeEntry validates an entry file against its header, returning the
-// payload only when the magic, length, and checksum all agree.
-func decodeEntry(data []byte) (json.RawMessage, bool) {
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return nil, false
-	}
-	var magic, sum string
-	var n int
-	if _, err := fmt.Sscanf(string(data[:nl]), "%s %d %s", &magic, &n, &sum); err != nil {
-		return nil, false
-	}
-	if magic != storeMagic || n < 0 {
-		return nil, false
-	}
-	payload := data[nl+1:]
-	if len(payload) != n {
-		return nil, false
-	}
-	digest := sha256.Sum256(payload)
-	if hex.EncodeToString(digest[:]) != sum {
-		return nil, false
-	}
-	return payload, true
 }
 
 // Put persists report bytes under a key. First write wins (a deterministic
@@ -164,33 +138,13 @@ func (s *Store) Put(key string, blob json.RawMessage) {
 
 // write creates the entry file atomically in the key's fan-out directory.
 func (s *Store) write(path string, blob json.RawMessage) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := failpoint("store.write"); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	digest := sha256.Sum256(blob)
-	header := fmt.Sprintf("%s %d %s\n", storeMagic, len(blob), hex.EncodeToString(digest[:]))
-	if _, err := tmp.WriteString(header); err != nil {
-		tmp.Close()
-		return err
-	}
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicWrite(path, encodeRecord(storeMagic, blob))
 }
 
 // StoreStats is a point-in-time copy of the store counters, served on

@@ -117,15 +117,25 @@ type ScenarioList struct {
 // running, and lands in exactly one terminal state. Retirement (the
 // registry dropping a terminal job FIFO to bound memory) is not a
 // status — a retired job answers 410 with code "job_retired".
+//
+// Interrupted is the one non-terminal state outside the normal flow: a
+// graceful shutdown caught the job mid-execution, its progress was
+// journaled, and a server restarted on the same data dir re-enqueues it
+// (the resumed job reports Resumed true and skips every run already in
+// the durable store). The state is visible only in the narrow window
+// between drain start and process exit.
 const (
-	JobQueued   = "queued"
-	JobRunning  = "running"
-	JobDone     = "done"
-	JobFailed   = "failed"
-	JobCanceled = "canceled"
+	JobQueued      = "queued"
+	JobRunning     = "running"
+	JobInterrupted = "interrupted"
+	JobDone        = "done"
+	JobFailed      = "failed"
+	JobCanceled    = "canceled"
 )
 
 // JobTerminal reports whether a status string is a terminal state.
+// Interrupted is not terminal: the job still owes results, just to a
+// future process.
 func JobTerminal(status string) bool {
 	return status == JobDone || status == JobFailed || status == JobCanceled
 }
@@ -134,7 +144,8 @@ func JobTerminal(status string) bool {
 // GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, and inside GET /v1/jobs.
 // Hits and Misses count completed runs by how they were served (cache
 // vs. simulation); SpecKey appears only on done jobs and Error only on
-// failed or canceled ones.
+// failed or canceled ones. Resumed marks a job re-enqueued from the
+// on-disk journal after a restart interrupted it.
 type JobInfo struct {
 	ID        string `json:"id"`
 	Status    string `json:"status"`
@@ -142,6 +153,7 @@ type JobInfo struct {
 	Completed int    `json:"completed"`
 	Hits      int    `json:"hits"`
 	Misses    int    `json:"misses"`
+	Resumed   bool   `json:"resumed,omitempty"`
 	SpecKey   string `json:"spec_key,omitempty"`
 	Error     string `json:"error,omitempty"`
 }
@@ -216,15 +228,24 @@ type StoreStats struct {
 
 // JobsStats is the async-job-registry section of /v1/metrics. Tracked is
 // current registry occupancy; Retired counts terminal jobs dropped FIFO
-// to admit new submissions.
+// to admit new submissions (plus terminal journal records cleaned up at
+// boot). Resumed counts jobs re-enqueued from the journal after a
+// restart, and RunsSkippedOnResume counts their runs served from the
+// durable store instead of re-simulated — recovery cost is proportional
+// only to the work actually lost. JournalErrors and JournalCorruptDropped
+// mirror the store's error accounting for the job journal.
 type JobsStats struct {
-	Submitted int64 `json:"submitted"`
-	Rejected  int64 `json:"rejected"`
-	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed"`
-	Canceled  int64 `json:"canceled"`
-	Retired   int64 `json:"retired"`
-	Tracked   int64 `json:"tracked"`
+	Submitted             int64 `json:"submitted"`
+	Rejected              int64 `json:"rejected"`
+	Completed             int64 `json:"completed"`
+	Failed                int64 `json:"failed"`
+	Canceled              int64 `json:"canceled"`
+	Retired               int64 `json:"retired"`
+	Tracked               int64 `json:"tracked"`
+	Resumed               int64 `json:"resumed"`
+	RunsSkippedOnResume   int64 `json:"runs_skipped_on_resume"`
+	JournalErrors         int64 `json:"journal_errors,omitempty"`
+	JournalCorruptDropped int64 `json:"journal_corrupt_dropped,omitempty"`
 }
 
 // MetricsDoc is the GET /v1/metrics response body. Store is present only

@@ -33,8 +33,18 @@ const (
 	// re-submitting the same spec is cheap.
 	CodeJobRetired ErrorCode = "job_retired"
 	// CodeTooManyJobs: the registry is full of live (queued or running)
-	// jobs (429); retry after one finishes.
+	// jobs (429); retry after one finishes. The response carries a
+	// Retry-After header, surfaced by clients as Error.RetryAfter.
 	CodeTooManyJobs ErrorCode = "too_many_jobs"
+	// CodeShuttingDown: the server is draining for shutdown and no longer
+	// accepts new jobs (503). Retry against the restarted server, which
+	// resumes interrupted work from its journal.
+	CodeShuttingDown ErrorCode = "shutting_down"
+	// CodeJobInterrupted: a graceful shutdown interrupted the job
+	// mid-execution (the job stream's trailing error line during drain).
+	// The job's progress is journaled; a restart on the same data dir
+	// resumes it under the same ID.
+	CodeJobInterrupted ErrorCode = "job_interrupted"
 	// CodeJobCanceled: the sweep was canceled before completing. Appears
 	// on the job stream's trailing error line and on synchronous runs cut
 	// short by client disconnect.
@@ -60,6 +70,10 @@ type Error struct {
 	// HTTPStatus is the response status the error arrived with. Filled by
 	// clients, never serialized: the status line already carries it.
 	HTTPStatus int `json:"-"`
+
+	// RetryAfter is the server's Retry-After hint in seconds (0 = none).
+	// Filled by clients from the response header, never serialized.
+	RetryAfter int `json:"-"`
 }
 
 // Error renders the code-prefixed message.

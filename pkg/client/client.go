@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -36,6 +37,7 @@ const (
 	DefaultRetries      = 2
 	DefaultBackoff      = 100 * time.Millisecond
 	DefaultPollInterval = 20 * time.Millisecond
+	DefaultPollMax      = time.Second
 )
 
 // Client is a typed v1 API client. Safe for concurrent use.
@@ -46,6 +48,12 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	poll    time.Duration
+	pollMax time.Duration
+
+	// Injection points for deterministic backoff tests; nil selects the
+	// real clock and math/rand.
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func() float64
 }
 
 // Option configures a Client at construction.
@@ -71,9 +79,15 @@ func WithRetry(retries int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = retries, backoff }
 }
 
-// WithPollInterval sets the WaitJob status-poll cadence.
+// WithPollInterval sets WaitJob's initial status-poll cadence (the
+// backoff schedule's floor).
 func WithPollInterval(d time.Duration) Option {
 	return func(c *Client) { c.poll = d }
+}
+
+// WithPollMax caps WaitJob's exponential poll backoff.
+func WithPollMax(d time.Duration) Option {
+	return func(c *Client) { c.pollMax = d }
 }
 
 // New returns a client for the service at baseURL (scheme defaults to
@@ -96,6 +110,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		retries: DefaultRetries,
 		backoff: DefaultBackoff,
 		poll:    DefaultPollInterval,
+		pollMax: DefaultPollMax,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -246,9 +261,14 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*api.JobInfo, error)
 }
 
 // WaitJob polls a job's status until it reaches a terminal state (done,
-// failed, or canceled) and returns the terminal document. The poll
-// cadence is WithPollInterval's; ctx bounds the total wait.
+// failed, or canceled) and returns the terminal document. Poll delays
+// start at WithPollInterval's cadence and double up to WithPollMax's cap
+// — quick jobs resolve promptly, long sweeps cost one cheap status GET
+// per second instead of fifty — with each delay jittered over ±20% so a
+// fleet of waiters cannot synchronize into bursts. ctx bounds the total
+// wait.
 func (c *Client) WaitJob(ctx context.Context, id string) (*api.JobInfo, error) {
+	delay := c.poll
 	for {
 		info, err := c.Job(ctx, id)
 		if err != nil {
@@ -257,14 +277,44 @@ func (c *Client) WaitJob(ctx context.Context, id string) (*api.JobInfo, error) {
 		if api.JobTerminal(info.Status) {
 			return info, nil
 		}
-		// A fresh timer each lap: reusing one across the Job call would
-		// leave a stale fire in its channel and degrade into a busy poll.
-		select {
-		case <-time.After(c.poll):
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if err := c.sleepFor(ctx, jittered(delay, c.jitterUnit())); err != nil {
+			return nil, err
+		}
+		if delay *= 2; delay > c.pollMax {
+			delay = c.pollMax
 		}
 	}
+}
+
+// jittered spreads a delay over ±20% of its nominal value: d*(0.8+0.4u)
+// for u in [0,1).
+func jittered(d time.Duration, u float64) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*u))
+}
+
+// sleepFor waits d or until ctx is done, through the injectable sleep
+// hook when one is set. A fresh timer each call: reusing one across the
+// status request would leave a stale fire in its channel and degrade
+// into a busy poll.
+func (c *Client) sleepFor(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jitterUnit draws the jitter sample in [0,1), through the injectable
+// hook when one is set.
+func (c *Client) jitterUnit() float64 {
+	if c.jitter != nil {
+		return c.jitter()
+	}
+	return rand.Float64()
 }
 
 // do issues one request, retrying transport errors and 5xx responses
@@ -327,7 +377,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return nil, true, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
 	}
 	if resp.StatusCode >= 400 {
-		return nil, resp.StatusCode >= 500, api.DecodeError(resp.StatusCode, blob)
+		apiErr := api.DecodeError(resp.StatusCode, blob)
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+			apiErr.RetryAfter = s
+		}
+		return nil, resp.StatusCode >= 500, apiErr
 	}
 	if out != nil {
 		if err := json.Unmarshal(blob, out); err != nil {

@@ -446,3 +446,84 @@ func TestNewValidation(t *testing.T) {
 		t.Fatalf("scheme default: %q", c.base)
 	}
 }
+
+// TestWaitJobBackoffSchedule pins WaitJob's poll schedule: delays start
+// at the poll interval, double each lap, cap at the poll maximum, and
+// carry ±20% jitter. The clock and jitter draw are injected, so the
+// schedule is asserted exactly.
+func TestWaitJobBackoffSchedule(t *testing.T) {
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status := api.JobRunning
+		if polls.Add(1) >= 6 {
+			status = api.JobDone
+		}
+		json.NewEncoder(w).Encode(api.JobInfo{ID: r.PathValue("id"), Status: status})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	c := newTestClient(t, ts.URL,
+		WithPollInterval(10*time.Millisecond), WithPollMax(80*time.Millisecond))
+	var slept []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	c.jitter = func() float64 { return 0.5 } // 0.8 + 0.4*0.5 = exactly 1.0
+
+	info, err := c.WaitJob(context.Background(), "job-000001")
+	if err != nil || info.Status != api.JobDone {
+		t.Fatalf("WaitJob = %+v, %v", info, err)
+	}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full schedule %v)", i, slept[i], want[i], slept)
+		}
+	}
+
+	// Jitter spreads each delay over [0.8d, 1.2d).
+	if d := jittered(100*time.Millisecond, 0); d != 80*time.Millisecond {
+		t.Fatalf("jittered(100ms, 0) = %v, want 80ms", d)
+	}
+	if d := jittered(100*time.Millisecond, 0.999); d < 119*time.Millisecond || d > 120*time.Millisecond {
+		t.Fatalf("jittered(100ms, 0.999) = %v, want just under 120ms", d)
+	}
+}
+
+// TestClientRetryAfterSurface pins the 429 contract client-side: a full
+// registry rejection arrives as a typed *api.Error with the stable
+// too_many_jobs code and the server's Retry-After hint in seconds.
+func TestClientRetryAfterSurface(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.Envelope{Err: &api.Error{
+			Code: api.CodeTooManyJobs, Message: "registry full",
+		}})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	c := newTestClient(t, ts.URL)
+	_, err := c.SubmitJob(context.Background(), api.RunSpec{Scenario: "covert-pnm"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("SubmitJob error = %v, want *api.Error", err)
+	}
+	if apiErr.Code != api.CodeTooManyJobs || apiErr.HTTPStatus != http.StatusTooManyRequests {
+		t.Fatalf("typed error = %+v", apiErr)
+	}
+	if apiErr.RetryAfter != 1 {
+		t.Fatalf("RetryAfter = %d, want 1", apiErr.RetryAfter)
+	}
+}
