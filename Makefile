@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke
+.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke objsweep
 
-ci: fmt vet build test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke bench-smoke
+ci: fmt vet build test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -26,6 +26,7 @@ race:
 	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
 	$(GO) test -race ./internal/metrics
 	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore|TestJournal|TestGraceful|TestCrash|TestCancelBeats|TestRunPanic'
+	$(GO) test -race ./internal/exp/pack
 	$(GO) test -race ./pkg/client
 
 # Quick regression signal on the allocation-free hot path.
@@ -49,6 +50,37 @@ loadtest-smoke:
 # The full reproducible benchmark run recorded in docs/benchmark.md.
 loadtest:
 	$(GO) run ./cmd/impact-bench -inprocess -workers 8 -duration 30s -run-frac 0.5 -cold 0.05
+
+# Object-count sweep smoke: preload a few thousand synthetic results
+# into each store backend and time random Gets, -smoke asserting zero
+# misses. The full 10^3..10^6 sweep recorded in docs/benchmark.md is
+# `make objsweep`.
+objsweep-smoke:
+	@tmp=$$(mktemp -d); status=1; \
+	if $(GO) run ./cmd/impact-bench -objects 2000 -gets 4000 -data-dir $$tmp/pack -store pack -smoke \
+	&& $(GO) run ./cmd/impact-bench -objects 500 -gets 1000 -data-dir $$tmp/files -store files -smoke; then \
+		status=0; \
+	fi; \
+	rm -rf $$tmp; exit $$status
+
+# The full object-count sweep behind the docs/benchmark.md table: pack
+# to 10^6 objects, the per-file backend capped at 10^5 (its fsync-per-
+# entry preload makes 10^6 impractical — that asymmetry is the point).
+objsweep:
+	@tmp=$$(mktemp -d); \
+	for n in 1000 10000 100000 1000000; do \
+		$(GO) run ./cmd/impact-bench -objects $$n -gets 200000 -data-dir $$tmp/pack-$$n -store pack -json; \
+	done; \
+	for n in 1000 10000 100000; do \
+		$(GO) run ./cmd/impact-bench -objects $$n -gets 200000 -data-dir $$tmp/files-$$n -store files -json; \
+	done; \
+	rm -rf $$tmp
+
+# Short fuzz pass over the pack store's two untrusted-byte decoders
+# (needle frames, index file) on top of the checked-in seed corpus.
+fuzz-smoke:
+	$(GO) test ./internal/exp/pack -run xxx -fuzz FuzzDecodeNeedle -fuzztime 5s
+	$(GO) test ./internal/exp/pack -run xxx -fuzz FuzzDecodeIndex -fuzztime 5s
 
 # Crash-recovery smoke: build the real server binary, kill it -9 mid-job,
 # restart it on the same -data-dir, and require the interrupted job to

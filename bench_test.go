@@ -12,6 +12,10 @@ package repro_test
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -21,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/exp"
+	"repro/internal/exp/pack"
 	"repro/internal/figures"
 	"repro/internal/memctrl"
 	"repro/internal/metrics"
@@ -711,6 +716,54 @@ func BenchmarkServerRun(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkResultStoreGet is the pinned form of the docs/benchmark.md
+// object-count sweep: Get latency on a preloaded durable result store,
+// pack engine vs. the per-file backend, at two object counts. Pack
+// answers every Get with one in-memory index lookup plus one bundle
+// ReadAt, so its per-op time must stay flat as the store grows; the
+// per-file backend pays a full open/read/close (and at preload time an
+// fsync per entry — why the 10^6 points of the recorded sweep run
+// against pack only).
+func BenchmarkResultStoreGet(b *testing.B) {
+	blob := json.RawMessage(`{"scenario":"covert-pnm","throughput_mbps":8.21,` +
+		`"error_rate":0.0042,"cycles":812345,"rows":[11,12,13,14,15,16,17,18]}`)
+	keyOf := func(i int) string {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("bench-object-%d", i)))
+		return hex.EncodeToString(sum[:])
+	}
+	run := func(b *testing.B, st exp.ResultStore, n int) {
+		b.Helper()
+		for i := 0; i < n; i++ {
+			st.Put(keyOf(i), blob)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := st.Get(keyOf(i % n)); !ok {
+				b.Fatalf("preloaded key %d missing", i%n)
+			}
+		}
+	}
+	for _, n := range []int{1000, 10000} {
+		n := n
+		b.Run(fmt.Sprintf("pack-%d", n), func(b *testing.B) {
+			st, err := pack.Open(b.TempDir(), pack.WithAuditInterval(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			run(b, st, n)
+		})
+		b.Run(fmt.Sprintf("files-%d", n), func(b *testing.B) {
+			st, err := exp.NewStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, st, n)
+		})
+	}
 }
 
 // BenchmarkMetricsObserve measures the serving layer's per-request metrics

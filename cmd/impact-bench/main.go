@@ -29,6 +29,13 @@
 // behavior measurable by re-running the same command (make jobs-smoke).
 // -smoke exits nonzero unless the run saw zero errors, nonzero QPS, and a
 // nonzero cache hit rate.
+//
+// With -objects N the tool switches to the store object-count sweep: it
+// opens the -store backend (pack or files) directly at -data-dir,
+// preloads N synthetic content-addressed results, and times -gets random
+// Get probes — the measurement behind docs/benchmark.md's pack-vs-files
+// scaling table (see objsweep.go). In this mode -smoke demands zero
+// Get misses.
 package main
 
 import (
@@ -96,17 +103,21 @@ func newBenchMetrics() *metrics.Groups {
 
 // config is the parsed flag set.
 type config struct {
-	base     string
-	spec     api.RunSpec // template for warm requests and cold variants
-	figure   string
-	workers  int
-	duration time.Duration
-	requests int64
-	runFrac  float64
-	coldFrac float64
-	jobs     bool
-	jsonOut  bool
-	smoke    bool
+	base      string
+	spec      api.RunSpec // template for warm requests and cold variants
+	figure    string
+	workers   int
+	duration  time.Duration
+	requests  int64
+	runFrac   float64
+	coldFrac  float64
+	jobs      bool
+	jsonOut   bool
+	smoke     bool
+	dataDir   string
+	storeKind string
+	objects   int64 // object-sweep mode when > 0; see objsweep.go
+	gets      int64
 }
 
 // run parses flags, drives the load, and prints the summary.
@@ -122,7 +133,10 @@ func run(args []string, stdout io.Writer) error {
 	coldFrac := fs.Float64("cold", 0, "fraction of run requests forced cold via a unique noise.seed config patch")
 	jobs := fs.Bool("jobs", false, "drive run requests through the async job API (submit, stream, wait)")
 	inprocess := fs.Bool("inprocess", false, "load-test an in-process server on a loopback listener")
-	dataDir := fs.String("data-dir", "", "with -inprocess: durable result store directory for the in-process server")
+	dataDir := fs.String("data-dir", "", "durable result store directory (with -inprocess or -objects)")
+	storeKind := fs.String("store", "pack", "result store backend for -data-dir: pack or files")
+	objects := fs.Int64("objects", 0, "object-sweep mode: preload N synthetic results into -data-dir and time random Gets")
+	gets := fs.Int64("gets", 10000, "with -objects: number of random Get probes to time")
 	jsonOut := fs.Bool("json", false, "print the summary as JSON")
 	smoke := fs.Bool("smoke", false, "exit nonzero unless errors==0, QPS>0, and hit rate>0")
 	if err := fs.Parse(args); err != nil {
@@ -144,20 +158,38 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("need -requests > 0 or -duration > 0")
 	}
 
-	if *dataDir != "" && !*inprocess {
-		return fmt.Errorf("-data-dir only applies with -inprocess (point -addr at a server started with its own -data-dir instead)")
+	if *dataDir != "" && !*inprocess && *objects == 0 {
+		return fmt.Errorf("-data-dir only applies with -inprocess or -objects (point -addr at a server started with its own -data-dir instead)")
+	}
+	if *objects < 0 || *gets < 0 {
+		return fmt.Errorf("negative -objects/-gets")
 	}
 
 	cfg := config{
-		figure:   *figure,
-		workers:  *workers,
-		duration: *duration,
-		requests: *requests,
-		runFrac:  *runFrac,
-		coldFrac: *coldFrac,
-		jobs:     *jobs,
-		jsonOut:  *jsonOut,
-		smoke:    *smoke,
+		figure:    *figure,
+		workers:   *workers,
+		duration:  *duration,
+		requests:  *requests,
+		runFrac:   *runFrac,
+		coldFrac:  *coldFrac,
+		jobs:      *jobs,
+		jsonOut:   *jsonOut,
+		smoke:     *smoke,
+		dataDir:   *dataDir,
+		storeKind: *storeKind,
+		objects:   *objects,
+		gets:      *gets,
+	}
+
+	// Object-sweep mode bypasses the HTTP path entirely; see objsweep.go.
+	if cfg.objects > 0 {
+		if *inprocess {
+			return fmt.Errorf("-objects and -inprocess are mutually exclusive")
+		}
+		if cfg.dataDir == "" {
+			return fmt.Errorf("-objects requires -data-dir")
+		}
+		return runObjectSweep(cfg, stdout)
 	}
 	specBlob := []byte(defaultSpec)
 	if *specPath != "" {
@@ -175,10 +207,11 @@ func run(args []string, stdout io.Writer) error {
 	if *inprocess {
 		var engineOpts []exp.EngineOption
 		if *dataDir != "" {
-			store, err := exp.NewStore(*dataDir)
+			store, closeStore, err := openBackend(cfg.storeKind, cfg.dataDir)
 			if err != nil {
 				return err
 			}
+			defer closeStore()
 			engineOpts = append(engineOpts, exp.WithStore(store))
 		}
 		ts := httptest.NewServer(exp.NewServer(exp.NewEngine(engineOpts...)).Handler())

@@ -12,7 +12,13 @@
 // first computation, with identical in-flight requests deduplicated onto
 // one simulation; with -data-dir the cache is additionally backed by a
 // durable disk store, so a restarted server answers previously computed
-// sweeps without re-simulating.
+// sweeps without re-simulating. -store picks the backend: "pack" (the
+// default) appends results into large bundle files behind a compact
+// needle index — one seek per lookup at any object count, with
+// background compaction and a CRC auditor — while "files" keeps the
+// legacy one-file-per-result layout. Booting the pack backend on a data
+// dir written by -store=files migrates the per-file entries into
+// bundles once; the reverse direction is not supported.
 //
 // With -data-dir the async job registry is durable too: accepted jobs
 // journal their spec and lifecycle under <data-dir>/jobs, SIGINT/SIGTERM
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/exp/pack"
 )
 
 func main() {
@@ -56,6 +63,8 @@ func run(args []string, ready chan<- string) error {
 	addr := fs.String("addr", "localhost:8322", "listen address")
 	workers := fs.Int("workers", 0, "per-request simulation pool size (0 = all cores)")
 	dataDir := fs.String("data-dir", "", "durable result store + job journal directory (empty = in-memory only)")
+	storeKind := fs.String("store", "pack",
+		"result store backend: pack (append-only bundles, flat lookup cost) or files (one file per result)")
 	maxJobs := fs.Int("max-jobs", 0, "async job registry bound; finished jobs retire FIFO (0 = default 256)")
 	drain := fs.Duration("drain-timeout", 30*time.Second,
 		"graceful-shutdown budget: in-flight jobs finish and journal before exit")
@@ -74,20 +83,46 @@ func run(args []string, ready chan<- string) error {
 
 	var engineOpts []exp.EngineOption
 	serverOpts := []exp.ServerOption{exp.WithWorkers(*workers), exp.WithMaxJobs(*maxJobs)}
+	var packStore *pack.Store
 	if *dataDir != "" {
-		store, err := exp.NewStore(*dataDir)
-		if err != nil {
-			return err
-		}
-		engineOpts = append(engineOpts, exp.WithStore(store))
-		fmt.Fprintf(os.Stderr, "impact-server: durable result store at %s\n", store.Dir())
-		// The journal lives beside the store's two-hex-digit fan-out dirs;
+		// Both backends share the data dir: the pack engine keeps its
+		// bundles under <data-dir>/pack (migrating any per-file fan-out it
+		// finds beside it — a one-way upgrade), the per-file store fans out
+		// over two-hex-digit dirs, and the job journal lives under "jobs";
 		// the names cannot collide.
+		switch *storeKind {
+		case "pack":
+			store, err := pack.Open(*dataDir)
+			if err != nil {
+				return err
+			}
+			packStore = store
+			engineOpts = append(engineOpts, exp.WithStore(store))
+			fmt.Fprintf(os.Stderr, "impact-server: pack result store at %s\n", store.Dir())
+			if n := store.PackStats().Migrated; n > 0 {
+				fmt.Fprintf(os.Stderr, "impact-server: migrated %d per-file result(s) into bundles\n", n)
+			}
+		case "files":
+			store, err := exp.NewStore(*dataDir)
+			if err != nil {
+				return err
+			}
+			engineOpts = append(engineOpts, exp.WithStore(store))
+			fmt.Fprintf(os.Stderr, "impact-server: per-file result store at %s\n", store.Dir())
+		default:
+			return fmt.Errorf("unknown store backend %q (want pack or files)", *storeKind)
+		}
 		journal, err := exp.NewJournal(filepath.Join(*dataDir, "jobs"))
 		if err != nil {
 			return err
 		}
 		serverOpts = append(serverOpts, exp.WithJournal(journal))
+	}
+	if packStore != nil {
+		// Registered before the drain defers run, so it executes after them:
+		// in-flight jobs finish writing through first, then the store
+		// persists its index and seals the bundles.
+		defer packStore.Close()
 	}
 	engine := exp.NewEngine(engineOpts...)
 	expSrv := exp.NewServer(engine, serverOpts...)

@@ -36,6 +36,20 @@ const (
 	shardCap   = maxEntries / cacheShards
 )
 
+// ResultStore is the durable backend a Cache writes through to. Two
+// implementations exist: the per-file Store in this package (one fanned-
+// out file per result) and the pack engine in internal/exp/pack
+// (append-only bundles behind a needle index, flat lookup cost at any
+// object count). Both share the contract the cache relies on: Get
+// returns previously Put bytes or reports a miss — never a wrong or
+// partial value (corrupt entries are dropped and heal by re-simulation)
+// — and Put is best-effort, first write wins. Implementations must be
+// safe for concurrent use.
+type ResultStore interface {
+	Get(key string) (json.RawMessage, bool)
+	Put(key string, blob json.RawMessage)
+}
+
 // Cache is a content-addressed result store: keys are the hex SHA-256 of a
 // run's canonical JSON document (see Run.Key), values are the marshaled
 // report bytes. Since the simulator is deterministic, a key maps to exactly
@@ -54,7 +68,7 @@ const (
 type Cache struct {
 	shards [cacheShards]cacheShard
 	met    *metrics.Set
-	store  *Store // nil = memory only
+	store  ResultStore // nil = memory only
 
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
@@ -86,7 +100,7 @@ func NewCache() *Cache { return NewCacheWithStore(nil) }
 // NewCacheWithStore returns an empty cache layered over a durable disk
 // store (nil for memory only): lookups fall through memory → disk, and
 // stores write through to disk.
-func NewCacheWithStore(st *Store) *Cache {
+func NewCacheWithStore(st ResultStore) *Cache {
 	c := &Cache{
 		met:    metrics.NewSet("hits", "misses", "stores", "evictions", "computes", "dedup_hits"),
 		store:  st,

@@ -51,11 +51,12 @@ type Engine struct {
 // EngineOption configures an Engine at construction.
 type EngineOption func(*Engine)
 
-// WithStore layers the engine's cache over a durable disk store: lookups
-// fall through memory → disk → simulate, and every computed report is
-// written through, so a new engine over the same data dir serves
-// previously computed sweeps without re-simulating.
-func WithStore(st *Store) EngineOption {
+// WithStore layers the engine's cache over a durable disk store (either
+// backend satisfying ResultStore): lookups fall through memory → disk →
+// simulate, and every computed report is written through, so a new
+// engine over the same data dir serves previously computed sweeps
+// without re-simulating.
+func WithStore(st ResultStore) EngineOption {
 	return func(e *Engine) { e.cache = NewCacheWithStore(st) }
 }
 

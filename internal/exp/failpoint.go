@@ -1,67 +1,13 @@
 package exp
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/exp/fsio"
 
-// Failpoints are named fault-injection hooks compiled into the durability
-// path so tests can prove crash consistency at every write boundary: a
-// test arms a hook with setFailpoint and the production code calls
-// failpoint(name) just before the guarded side effect. An armed hook can
-// return an error (the write is abandoned, as if the process had died
-// before it landed — everything journaled earlier is on disk, nothing
-// later is) or panic (exercising the per-run recovery boundary). With no
-// hooks armed the cost is a single atomic load, so the hooks stay in the
-// production build without a separate tag.
-//
-// Hook names in the durability path, in write order:
-//
-//	journal.seq     the SEQ allocation watermark record
-//	journal.spec    a job's immutable spec record
-//	journal.status  a job's status/progress record
-//	store.write     a result entry in the content-addressed store
-//	engine.run      one simulation, just before it starts
-var (
-	failpointsArmed atomic.Int32
-	failpointsMu    sync.Mutex
-	failpointFns    map[string]func() error
-)
+// Failpoints live in internal/exp/fsio so the pack engine's write
+// boundaries share the same registry as the journal's and store's; see
+// fsio.Failpoint for the discipline and the list of hook names.
 
-// failpoint invokes the hook armed under name, if any. The fast path —
-// no hooks armed anywhere — is one atomic load.
-func failpoint(name string) error {
-	if failpointsArmed.Load() == 0 {
-		return nil
-	}
-	failpointsMu.Lock()
-	fn := failpointFns[name]
-	failpointsMu.Unlock()
-	if fn == nil {
-		return nil
-	}
-	return fn()
-}
+// failpoint invokes the hook armed under name, if any.
+func failpoint(name string) error { return fsio.Failpoint(name) }
 
-// setFailpoint arms fn at a named boundary (nil disarms it). Test-only:
-// production code never calls this, so the armed count stays zero and
-// failpoint stays a single load.
-func setFailpoint(name string, fn func() error) {
-	failpointsMu.Lock()
-	defer failpointsMu.Unlock()
-	if failpointFns == nil {
-		failpointFns = make(map[string]func() error)
-	}
-	_, had := failpointFns[name]
-	if fn == nil {
-		if had {
-			delete(failpointFns, name)
-			failpointsArmed.Add(-1)
-		}
-		return
-	}
-	failpointFns[name] = fn
-	if !had {
-		failpointsArmed.Add(1)
-	}
-}
+// setFailpoint arms fn at a named boundary (nil disarms it). Test-only.
+func setFailpoint(name string, fn func() error) { fsio.SetFailpoint(name, fn) }

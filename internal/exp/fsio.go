@@ -1,89 +1,23 @@
 package exp
 
-import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"os"
-	"path/filepath"
-)
+import "repro/internal/exp/fsio"
+
+// The store and journal's durability primitives live in the shared
+// internal/exp/fsio package (the pack engine builds on the same
+// discipline); these aliases keep this package's call sites terse.
 
 // atomicWrite publishes data at path so readers only ever observe the
-// complete old or complete new contents: the bytes land in a temp file in
-// the same directory, are fsynced, renamed over path, and then the
-// containing directory is fsynced so the rename itself survives power
-// loss — not just process death. A crash at any point leaves at worst a
-// stray ".tmp-*" file, never a torn entry.
-func atomicWrite(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	return syncDir(dir)
-}
+// complete old or complete new contents; see fsio.AtomicWrite.
+func atomicWrite(path string, data []byte) error { return fsio.AtomicWrite(path, data) }
 
-// syncDir fsyncs a directory, making previously renamed entries durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
+// syncDir fsyncs a directory, making previously renamed (or removed)
+// entries durable.
+func syncDir(dir string) error { return fsio.SyncDir(dir) }
 
 // encodeRecord frames a payload under the shared checksummed-header
-// discipline: "<magic> <payload-bytes> <hex sha256>\n" followed by the
-// payload. The header lets a reader reject truncated, torn, or foreign
-// files before trusting a single payload byte.
-func encodeRecord(magic string, payload []byte) []byte {
-	digest := sha256.Sum256(payload)
-	header := fmt.Sprintf("%s %d %s\n", magic, len(payload), hex.EncodeToString(digest[:]))
-	out := make([]byte, 0, len(header)+len(payload))
-	out = append(out, header...)
-	out = append(out, payload...)
-	return out
-}
+// discipline; see fsio.EncodeRecord.
+func encodeRecord(magic string, payload []byte) []byte { return fsio.EncodeRecord(magic, payload) }
 
-// decodeRecord validates a framed record against its header, returning the
-// payload only when the magic, length, and checksum all agree.
-func decodeRecord(magic string, data []byte) ([]byte, bool) {
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return nil, false
-	}
-	var gotMagic, sum string
-	var n int
-	if _, err := fmt.Sscanf(string(data[:nl]), "%s %d %s", &gotMagic, &n, &sum); err != nil {
-		return nil, false
-	}
-	if gotMagic != magic || n < 0 {
-		return nil, false
-	}
-	payload := data[nl+1:]
-	if len(payload) != n {
-		return nil, false
-	}
-	digest := sha256.Sum256(payload)
-	if hex.EncodeToString(digest[:]) != sum {
-		return nil, false
-	}
-	return payload, true
-}
+// decodeRecord validates a framed record against its header; see
+// fsio.DecodeRecord.
+func decodeRecord(magic string, data []byte) ([]byte, bool) { return fsio.DecodeRecord(magic, data) }

@@ -1,0 +1,86 @@
+package fsio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAtomicWriteRoundTrip pins the publish contract: the final bytes
+// land at the path, and no temp file survives.
+func TestAtomicWriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	if err := AtomicWrite(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("dir holds %d entries after AtomicWrite, want 1", len(names))
+	}
+	// Overwrite is atomic too.
+	if err := AtomicWrite(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("overwrite read back %q", got)
+	}
+}
+
+// TestRecordFraming pins the record format: round trips succeed, and any
+// single-byte damage (magic, length, checksum, payload, truncation) is
+// rejected.
+func TestRecordFraming(t *testing.T) {
+	payload := []byte(`{"rows":[1,2,3]}`)
+	rec := EncodeRecord("testmagic1", payload)
+	if got, ok := DecodeRecord("testmagic1", rec); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = %q, %v", got, ok)
+	}
+	if _, ok := DecodeRecord("othermagic", rec); ok {
+		t.Fatal("foreign magic accepted")
+	}
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)-1] },                         // truncated payload
+		func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },               // flipped payload byte
+		func(b []byte) []byte { b[0] ^= 0xff; return b },                      // damaged magic
+		func(b []byte) []byte { return append(b, 'x') },                       // trailing junk
+		func(b []byte) []byte { return []byte("testmagic1 3 nothex\nabc") },   // bad checksum format
+		func(b []byte) []byte { return []byte("testmagic1 -1 deadbeef\nab") }, // negative length
+		func(b []byte) []byte { return nil },                                  // empty file
+	} {
+		buf := mutate(append([]byte(nil), rec...))
+		if _, ok := DecodeRecord("testmagic1", buf); ok {
+			t.Fatalf("damaged record accepted: %q", buf)
+		}
+	}
+}
+
+// TestFailpointArmDisarm pins the hook registry: unarmed names are free,
+// armed hooks fire, and disarming restores the fast path.
+func TestFailpointArmDisarm(t *testing.T) {
+	if err := Failpoint("fsio.test.hook"); err != nil {
+		t.Fatalf("unarmed failpoint = %v", err)
+	}
+	injected := errors.New("injected")
+	SetFailpoint("fsio.test.hook", func() error { return injected })
+	defer SetFailpoint("fsio.test.hook", nil)
+	if err := Failpoint("fsio.test.hook"); !errors.Is(err, injected) {
+		t.Fatalf("armed failpoint = %v, want injected error", err)
+	}
+	if err := Failpoint("fsio.test.other"); err != nil {
+		t.Fatalf("unarmed sibling fired: %v", err)
+	}
+	SetFailpoint("fsio.test.hook", nil)
+	if err := Failpoint("fsio.test.hook"); err != nil {
+		t.Fatalf("disarmed failpoint = %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package pack
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchStore opens a store tuned for benchmarking: background audit off
+// (the benchmarks drive maintenance explicitly) and index persistence
+// deferred so preloads are not dominated by INDEX rewrites.
+func benchStore(b *testing.B, opts ...Option) *Store {
+	b.Helper()
+	st, err := Open(b.TempDir(), append([]Option{
+		WithAuditInterval(0), WithIndexEvery(1 << 30),
+	}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return st
+}
+
+// BenchmarkAuditThroughput measures the background auditor's CRC
+// verification rate over a healthy store — the cost ceiling for the
+// incremental rot scan that runs every audit interval.
+func BenchmarkAuditThroughput(b *testing.B) {
+	const n = 10000
+	st := benchStore(b)
+	var bytes int64
+	for i := 0; i < n; i++ {
+		blob := testBlob(i)
+		bytes += int64(len(blob))
+		st.Put(testKey(i), blob)
+	}
+	b.SetBytes(bytes / n)
+	b.ResetTimer()
+	checked := 0
+	for i := 0; i < b.N; i++ {
+		c, dropped := st.Audit(1)
+		if dropped != 0 {
+			b.Fatalf("healthy store dropped %d needles", dropped)
+		}
+		checked += c
+	}
+	if checked != b.N {
+		b.Fatalf("audited %d needles over %d iterations", checked, b.N)
+	}
+}
+
+// BenchmarkCompact measures one compaction pass: every sealed bundle is
+// 75% garbage, so the pass re-copies one live needle in four and
+// unlinks the victims. Reported bytes are the garbage reclaimed.
+func BenchmarkCompact(b *testing.B) {
+	const n = 4000
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := benchStore(b, WithBundleSize(1<<18))
+		for j := 0; j < n; j++ {
+			st.Put(testKey(j), testBlob(j))
+		}
+		st.mu.Lock()
+		for j := 0; j < n; j++ {
+			if j%4 != 0 {
+				key := testKey(j)
+				st.dropEntryLocked(key, st.index[key], packCorrupt)
+			}
+		}
+		st.mu.Unlock()
+		b.SetBytes(st.PackStats().GarbageBytes)
+		b.StartTimer()
+		moved, err := st.Compact()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if moved == 0 {
+			b.Fatal("compaction moved nothing")
+		}
+	}
+}
+
+// BenchmarkPackGet is the in-package view of the root
+// BenchmarkResultStoreGet sweep: one Get against a preloaded store, at
+// increasing object counts. The per-op time must stay flat — Get is one
+// map probe plus one ReadAt however large the store grows.
+func BenchmarkPackGet(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("objects=%d", n), func(b *testing.B) {
+			st := benchStore(b)
+			for i := 0; i < n; i++ {
+				st.Put(testKey(i), testBlob(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.Get(testKey(i % n)); !ok {
+					b.Fatalf("preloaded key %d missing", i%n)
+				}
+			}
+		})
+	}
+}

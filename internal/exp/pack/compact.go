@@ -1,0 +1,138 @@
+package pack
+
+import (
+	"os"
+	"sort"
+
+	"repro/internal/exp/fsio"
+	"repro/internal/metrics"
+)
+
+// Compaction reclaims bundle garbage: needles orphaned by corrupt-entry
+// drops, audit drops, or recovery duplicates. A sealed bundle whose
+// garbage fraction crosses the configured threshold is rewritten — its
+// live needles re-verified and copied to the active bundle, the index
+// repointed, and only after the repointed index is durable on disk is
+// the old bundle file unlinked. The crash windows are all benign:
+//
+//   - crash before the index swap: the old bundle and old index are both
+//     intact; the copies appended to the active bundle are duplicates the
+//     boot scan ignores (first key wins) and later compaction reclaims.
+//   - crash after the swap, before the unlink: the old bundle survives
+//     with zero live references; Open's zero-live sweep unlinks it.
+//
+// Compact runs from the background maintenance loop and is exported for
+// tests and tools that want deterministic scheduling.
+
+// Compact rewrites every sealed bundle past the garbage threshold.
+// It returns the number of bundles reclaimed.
+func (s *Store) Compact() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil
+	}
+
+	var victims []*bundle
+	for id, b := range s.bundles {
+		if id == s.active || b.size == 0 {
+			continue
+		}
+		if float64(b.size-b.live)/float64(b.size) >= s.opts.garbageRatio {
+			victims = append(victims, b)
+		}
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+
+	// Copy each victim's live needles into the active bundle. Keys are
+	// found by walking the index (the only authority on liveness); a
+	// needle that fails verification during the copy is dropped like any
+	// other corrupt read.
+	byBundle := make(map[uint32][]string)
+	for key, e := range s.index {
+		byBundle[e.bundle] = append(byBundle[e.bundle], key)
+	}
+	var reclaimed int64
+	for _, v := range victims {
+		for _, key := range byBundle[v.id] {
+			e := s.index[key]
+			buf := make([]byte, needleSize(e.n))
+			if _, err := v.f.ReadAt(buf, e.off); err != nil {
+				s.met.Add(packErrors, 1)
+				s.dropEntryLocked(key, e, packCorrupt)
+				continue
+			}
+			h, payload, _, ok := parseNeedle(buf)
+			if !ok || h.key != rawKey(key) {
+				s.dropEntryLocked(key, e, packCorrupt)
+				continue
+			}
+			// Repoint the key at a fresh copy in the active bundle. The old
+			// needle becomes garbage that dies with the victim file.
+			s.moveEntryLocked(key, e)
+			if err := s.appendLocked(key, payload); err != nil {
+				// The copy failed; the entry was already dropped, so the key
+				// degrades to a miss and heals by re-simulation. Counted, and
+				// strictly better than pointing the index at a file about to
+				// be unlinked.
+				s.met.Add(packErrors, 1)
+			}
+		}
+		reclaimed += v.size
+	}
+
+	// The swap: make the repointed index durable, then unlink. The
+	// failpoint models a crash at the boundary between those two steps'
+	// preconditions — after the copies, before the commit.
+	if err := fsio.Failpoint("pack.compact.swap"); err != nil {
+		s.met.Add(packErrors, 1)
+		return 0, err
+	}
+	if err := s.persistIndexLocked(); err != nil {
+		// Not durable — the victims must survive, since the on-disk index
+		// still points into them. They are all-garbage now, so the next
+		// Compact (or Open) retries the swap cheaply.
+		return 0, err
+	}
+	for _, v := range victims {
+		v.f.Close()
+		if err := os.Remove(s.bundlePath(v.id)); err != nil {
+			s.met.Add(packErrors, 1)
+		}
+		delete(s.bundles, v.id)
+	}
+	fsio.SyncDir(s.dir)
+	s.met.Add(packCompactions, int64(len(victims)))
+	s.met.Add(packCompactedBytes, reclaimed)
+	return len(victims), nil
+}
+
+// dropEntryLocked removes one index entry, fixes live accounting, and
+// counts it under counter. Unlike dropCorrupt it does not persist —
+// callers batch durability.
+func (s *Store) dropEntryLocked(key string, e indexEntry, counter metrics.CounterID) {
+	if !s.moveEntryLocked(key, e) {
+		return
+	}
+	s.met.Add(counter, 1)
+}
+
+// moveEntryLocked removes one index entry without counting it as
+// corruption — the compactor's repointing step, where the needle is
+// healthy and about to be re-appended. Reports whether e was still the
+// live entry for key.
+func (s *Store) moveEntryLocked(key string, e indexEntry) bool {
+	cur, ok := s.index[key]
+	if !ok || cur != e {
+		return false
+	}
+	delete(s.index, key)
+	if b, ok := s.bundles[e.bundle]; ok {
+		b.live -= needleSize(e.n)
+	}
+	s.dirty++
+	return true
+}

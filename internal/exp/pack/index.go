@@ -1,0 +1,164 @@
+package pack
+
+import (
+	"encoding/binary"
+	"os"
+
+	"repro/internal/exp/fsio"
+)
+
+// The index file ("INDEX" in the pack dir) is the persisted form of the
+// in-memory needle map: for every live key, which bundle holds its
+// needle and where. It is a pure accelerator — everything in it can be
+// rebuilt by scanning the bundles — but it is what makes Open O(new
+// data) instead of O(all data): each bundle's scanned-through watermark
+// says how far the persisted entries already cover, so a boot only
+// scans the bytes appended since the last index write.
+//
+// The file is framed with the shared fsio record discipline (magic,
+// length, SHA-256) and replaced atomically, so a torn index is
+// impossible to observe: a boot either reads a complete index or falls
+// back to a full bundle scan. Payload layout, little-endian:
+//
+//	u32 bundle count
+//	  per bundle: u32 id, u64 scannedTo (bytes covered by this index)
+//	u32 entry count
+//	  per entry: [32]byte raw key, u32 bundle id, u64 offset, u32 length
+const indexMagic = "impactpackidx1"
+
+// indexName is the index's file name inside the pack dir.
+const indexName = "INDEX"
+
+// indexBundle is one bundle's row in the persisted bundle table.
+type indexBundle struct {
+	id        uint32
+	scannedTo int64
+}
+
+// indexEntry locates one needle. n is the payload length (the on-disk
+// needle occupies needleSize(n) bytes at off).
+type indexEntry struct {
+	bundle uint32
+	off    int64
+	n      int
+}
+
+// encodeIndex serializes the bundle table and entry map.
+func encodeIndex(bundles []indexBundle, entries map[string]indexEntry) []byte {
+	size := 4 + len(bundles)*(4+8) + 4 + len(entries)*(keySize+4+8+4)
+	buf := make([]byte, 0, size)
+	var u32 [4]byte
+	var u64 [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf = append(buf, u32[:]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf = append(buf, u64[:]...)
+	}
+	put32(uint32(len(bundles)))
+	for _, b := range bundles {
+		put32(b.id)
+		put64(uint64(b.scannedTo))
+	}
+	put32(uint32(len(entries)))
+	for key, e := range entries {
+		k := rawKey(key)
+		buf = append(buf, k[:]...)
+		put32(e.bundle)
+		put64(uint64(e.off))
+		put32(uint32(e.n))
+	}
+	return buf
+}
+
+// decodeIndex parses an index payload. ok is false on any structural
+// damage: short buffers, counts that disagree with the length, entries
+// naming bundles absent from the table, or insane field values. A false
+// return means "rebuild by scanning" — never a partial result.
+func decodeIndex(buf []byte) ([]indexBundle, map[string]indexEntry, bool) {
+	off := 0
+	get32 := func() (uint32, bool) {
+		if off+4 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(buf[off : off+4])
+		off += 4
+		return v, true
+	}
+	get64 := func() (uint64, bool) {
+		if off+8 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(buf[off : off+8])
+		off += 8
+		return v, true
+	}
+
+	nb, ok := get32()
+	if !ok || nb > 1<<20 {
+		return nil, nil, false
+	}
+	bundles := make([]indexBundle, 0, nb)
+	known := make(map[uint32]bool, nb)
+	for i := uint32(0); i < nb; i++ {
+		id, ok1 := get32()
+		to, ok2 := get64()
+		if !ok1 || !ok2 || known[id] || to > 1<<62 {
+			return nil, nil, false
+		}
+		known[id] = true
+		bundles = append(bundles, indexBundle{id: id, scannedTo: int64(to)})
+	}
+
+	ne, ok := get32()
+	if !ok {
+		return nil, nil, false
+	}
+	// Each entry is a fixed 48 bytes; reject counts the buffer cannot hold
+	// before allocating for them.
+	const entrySize = keySize + 4 + 8 + 4
+	if int64(ne)*entrySize != int64(len(buf)-off) {
+		return nil, nil, false
+	}
+	entries := make(map[string]indexEntry, ne)
+	for i := uint32(0); i < ne; i++ {
+		var k [keySize]byte
+		copy(k[:], buf[off:off+keySize])
+		off += keySize
+		bid, _ := get32()
+		eoff, _ := get64()
+		n, _ := get32()
+		if !known[bid] || n > maxPayload || eoff > 1<<62 {
+			return nil, nil, false
+		}
+		key := hexKey(k)
+		if _, dup := entries[key]; dup {
+			return nil, nil, false
+		}
+		entries[key] = indexEntry{bundle: bid, off: int64(eoff), n: int(n)}
+	}
+	return bundles, entries, true
+}
+
+// loadIndex reads and validates the persisted index, reporting ok=false
+// (a full-scan boot) when the file is missing, torn, or corrupt. A
+// corrupt index file is deleted so the rebuilt one replaces it cleanly.
+func loadIndex(path string) ([]indexBundle, map[string]indexEntry, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false
+	}
+	payload, ok := fsio.DecodeRecord(indexMagic, data)
+	if !ok {
+		os.Remove(path)
+		return nil, nil, false
+	}
+	bundles, entries, ok := decodeIndex(payload)
+	if !ok {
+		os.Remove(path)
+		return nil, nil, false
+	}
+	return bundles, entries, true
+}

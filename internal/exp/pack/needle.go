@@ -1,0 +1,130 @@
+package pack
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"hash/crc32"
+)
+
+// A needle is one result record inside a bundle file: a fixed binary
+// header — magic, the raw 32-byte content-address key, the payload
+// length, and a CRC over the payload — followed by the payload bytes.
+// The header is everything a sequential scan needs to rebuild the index
+// from bare bundles, and the CRC is everything a read (or the auditor)
+// needs to refuse a rotted payload before serving a single byte of it.
+//
+// Layout, little-endian:
+//
+//	offset  0  magic   uint32  "npk1"
+//	offset  4  key     [32]byte raw SHA-256 of the run's canonical JSON
+//	offset 36  length  uint32  payload bytes
+//	offset 40  crc     uint32  CRC-32 (Castagnoli) of the payload
+//	offset 44  payload
+const (
+	needleMagic = uint32('n') | uint32('p')<<8 | uint32('k')<<16 | uint32('1')<<24
+	keySize     = 32
+	headerSize  = 4 + keySize + 4 + 4
+	// maxPayload rejects absurd length fields before a scan or read
+	// trusts them: no marshaled report comes near 64 MiB, so anything
+	// larger is damage, not data.
+	maxPayload = 64 << 20
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// needleSize returns the on-disk footprint of a needle holding n payload
+// bytes.
+func needleSize(n int) int64 { return int64(headerSize + n) }
+
+// encodeNeedle frames one payload under its raw key.
+func encodeNeedle(key [keySize]byte, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], needleMagic)
+	copy(buf[4:4+keySize], key[:])
+	binary.LittleEndian.PutUint32(buf[36:40], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[40:44], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// needleHeader is a decoded header; the payload is validated separately
+// so a reader can size its buffer before touching payload bytes.
+type needleHeader struct {
+	key [keySize]byte
+	n   int
+	crc uint32
+}
+
+// decodeNeedleHeader validates the fixed header fields (magic and a sane
+// length). It does not — cannot — vouch for the payload; checkPayload
+// does that once the bytes are in hand.
+func decodeNeedleHeader(buf []byte) (needleHeader, bool) {
+	if len(buf) < headerSize {
+		return needleHeader{}, false
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != needleMagic {
+		return needleHeader{}, false
+	}
+	var h needleHeader
+	copy(h.key[:], buf[4:4+keySize])
+	n := binary.LittleEndian.Uint32(buf[36:40])
+	if n > maxPayload {
+		return needleHeader{}, false
+	}
+	h.n = int(n)
+	h.crc = binary.LittleEndian.Uint32(buf[40:44])
+	return h, true
+}
+
+// checkPayload reports whether payload matches the header's CRC.
+func (h needleHeader) checkPayload(payload []byte) bool {
+	return len(payload) == h.n && crc32.Checksum(payload, castagnoli) == h.crc
+}
+
+// parseNeedle decodes one complete needle from the front of buf,
+// returning the header, the payload (aliasing buf), and the total bytes
+// consumed. ok is false when buf does not start with a fully intact
+// needle — a torn tail, a damaged header, or a payload that fails its
+// CRC all look the same to a scan: the end of trustworthy data.
+func parseNeedle(buf []byte) (needleHeader, []byte, int64, bool) {
+	h, ok := decodeNeedleHeader(buf)
+	if !ok {
+		return needleHeader{}, nil, 0, false
+	}
+	if len(buf) < headerSize+h.n {
+		return needleHeader{}, nil, 0, false
+	}
+	payload := buf[headerSize : headerSize+h.n]
+	if !h.checkPayload(payload) {
+		return needleHeader{}, nil, 0, false
+	}
+	return h, payload, needleSize(h.n), true
+}
+
+// validKey reports whether key is a lowercase hex SHA-256 digest — the
+// only names the store accepts, and a guarantee that a key can never
+// traverse outside the data dir.
+func validKey(key string) bool {
+	if len(key) != keySize*2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// rawKey decodes a validated hex key to its 32-byte form.
+func rawKey(key string) (k [keySize]byte) {
+	hex.Decode(k[:], []byte(key))
+	return k
+}
+
+// hexKey is rawKey's inverse, used when a scan rebuilds index entries.
+func hexKey(k [keySize]byte) string {
+	return hex.EncodeToString(k[:])
+}

@@ -488,7 +488,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Cache:    s.engine.Cache().Stats(),
 		Jobs:     s.jobs.Stats(),
 	}
-	if st := s.engine.cache.store; st != nil {
+	// The store section's shape follows the configured backend. The pack
+	// engine is detected structurally (exp never imports internal/exp/pack;
+	// the dependency points the other way via the cmd layer), and a nil
+	// interface matches neither case, leaving both sections absent.
+	switch st := s.engine.cache.store.(type) {
+	case interface{ PackStats() api.PackStats }:
+		stats := st.PackStats()
+		doc.Pack = &stats
+	case interface{ Stats() api.StoreStats }:
 		stats := st.Stats()
 		doc.Store = &stats
 	}

@@ -107,7 +107,15 @@ func (s *Store) Get(key string) (json.RawMessage, bool) {
 	}
 	blob, ok := decodeRecord(storeMagic, data)
 	if !ok {
-		os.Remove(path)
+		// Dropping a corrupt entry is a durability decision just like
+		// publishing one: without the parent-directory fsync, a crash after
+		// the unlink could resurrect the corrupt file this reader already
+		// refused, re-poisoning reads that the next Put was supposed to heal.
+		if err := os.Remove(path); err != nil {
+			s.met.Add(storeErrors, 1)
+		} else if err := syncDir(filepath.Dir(path)); err != nil {
+			s.met.Add(storeErrors, 1)
+		}
 		s.met.Add(storeCorrupt, 1)
 		s.met.Add(storeMisses, 1)
 		return nil, false

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/exp/pack"
 )
 
 // testKey returns a syntactically valid store key derived from seed (the
@@ -186,6 +188,65 @@ func TestServerRestartDurability(t *testing.T) {
 	pure := doRequest(t, NewServer(NewEngine(), WithWorkers(2)).Handler(), http.MethodPost, "/v1/run", restartSpec)
 	if !bytes.Equal(pure.Body.Bytes(), cold.Body.Bytes()) {
 		t.Fatal("store layering changed response bytes")
+	}
+}
+
+// TestPackMigrationServesByteIdentical is the acceptance test for the
+// per-file → pack upgrade at the serving layer: sweeps computed by a
+// files-backed server, then migrated into bundles by pack.Open on the
+// same data dir, are served by the pack-backed server with X-Cache: hit
+// and byte-identical bodies — no re-simulation, no per-file layout left
+// behind.
+func TestPackMigrationServesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	dir := filepath.Join(t.TempDir(), "data")
+
+	st1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := NewServer(NewEngine(WithStore(st1)), WithWorkers(2)).Handler()
+	cold := doRequest(t, h1, http.MethodPost, "/v1/run", restartSpec)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold POST = %d: %s", cold.Code, cold.Body)
+	}
+
+	// "Upgrade restart": the same data dir, reopened with the pack
+	// backend — exactly what impact-server -store=pack does on boot.
+	st2, err := pack.Open(dir, pack.WithAuditInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if n := st2.PackStats().Migrated; n != 2 {
+		t.Fatalf("migrated = %d, want 2 (one per unique run)", n)
+	}
+	eng2 := NewEngine(WithStore(st2))
+	h2 := NewServer(eng2, WithWorkers(2)).Handler()
+	migrated := doRequest(t, h2, http.MethodPost, "/v1/run", restartSpec)
+	if migrated.Code != http.StatusOK {
+		t.Fatalf("migrated POST = %d: %s", migrated.Code, migrated.Body)
+	}
+	if got := migrated.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("migrated POST X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), migrated.Body.Bytes()) {
+		t.Fatal("pack-served response is not byte-identical to the files-computed one")
+	}
+	if c := eng2.Cache().Stats().Computes; c != 0 {
+		t.Fatalf("pack engine simulated %d runs after migration, want 0", c)
+	}
+	// The fan-out layout is gone: only pack (and any journal) remain.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if name := de.Name(); name != "pack" && name != "jobs" {
+			t.Fatalf("per-file layout %q survived migration", name)
+		}
 	}
 }
 

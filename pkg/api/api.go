@@ -226,6 +226,37 @@ type StoreStats struct {
 	Errors         int64 `json:"errors"`
 }
 
+// PackStats is the pack-engine section of /v1/metrics, present only when
+// the server runs with -store=pack. The first five counters mirror
+// StoreStats; the rest expose the subsystems the pack engine adds.
+// Migrated counts legacy per-file entries carried into bundles at boot;
+// RecoveredNeedles counts appends rebuilt by the boot tail scan (writes
+// newer than the last index file). IndexWrites counts atomic index
+// rewrites. Compactions/CompactedBytes account for garbage-bundle
+// rewrites, and the Audit* counters for the background CRC re-verifier:
+// passes completed, needles checked, and entries dropped (then healed by
+// re-simulation on next access). Bundles/IndexEntries/LiveBytes/
+// GarbageBytes are point-in-time gauges of the on-disk layout.
+type PackStats struct {
+	Hits                int64 `json:"hits"`
+	Misses              int64 `json:"misses"`
+	Stores              int64 `json:"stores"`
+	CorruptDropped      int64 `json:"corrupt_dropped"`
+	Errors              int64 `json:"errors"`
+	Migrated            int64 `json:"migrated"`
+	RecoveredNeedles    int64 `json:"recovered_needles"`
+	IndexWrites         int64 `json:"index_writes"`
+	Compactions         int64 `json:"compactions"`
+	CompactedBytes      int64 `json:"compacted_bytes"`
+	AuditPasses         int64 `json:"audit_passes"`
+	AuditedNeedles      int64 `json:"audited_needles"`
+	AuditCorruptDropped int64 `json:"audit_corrupt_dropped"`
+	Bundles             int64 `json:"bundles"`
+	IndexEntries        int64 `json:"index_entries"`
+	LiveBytes           int64 `json:"live_bytes"`
+	GarbageBytes        int64 `json:"garbage_bytes"`
+}
+
 // JobsStats is the async-job-registry section of /v1/metrics. Tracked is
 // current registry occupancy; Retired counts terminal jobs dropped FIFO
 // to admit new submissions (plus terminal journal records cleaned up at
@@ -248,11 +279,13 @@ type JobsStats struct {
 	JournalCorruptDropped int64 `json:"journal_corrupt_dropped,omitempty"`
 }
 
-// MetricsDoc is the GET /v1/metrics response body. Store is present only
-// when the engine has a durable disk store configured.
+// MetricsDoc is the GET /v1/metrics response body. Exactly one of Store
+// and Pack is present when the engine has a durable disk store
+// configured: Store for the per-file backend, Pack for the pack engine.
 type MetricsDoc struct {
 	Requests map[string]RouteMetrics `json:"requests"`
 	Cache    CacheStats              `json:"cache"`
 	Store    *StoreStats             `json:"store,omitempty"`
+	Pack     *PackStats              `json:"pack,omitempty"`
 	Jobs     JobsStats               `json:"jobs"`
 }
