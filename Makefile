@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke objsweep
+.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke objsweep
 
-ci: fmt vet build test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke bench-smoke
+ci: fmt vet build test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -25,13 +25,24 @@ test:
 race:
 	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
 	$(GO) test -race ./internal/metrics
-	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore|TestJournal|TestGraceful|TestCrash|TestCancelBeats|TestRunPanic'
+	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore|TestJournal|TestGraceful|TestCrash|TestCancelBeats|TestRunPanic|TestPooledSweepParallelDeterminism|TestStreamingSweepMemoryBoundTrimmed'
 	$(GO) test -race ./internal/exp/pack
 	$(GO) test -race ./pkg/client
 
 # Quick regression signal on the allocation-free hot path.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkCacheAccess|BenchmarkBankAccess' -benchtime 100x -benchmem .
+
+# Cold-path round-2 regressions: pooled-machine determinism (Machine.Reset
+# must be provably state-free, sequentially and under 8-way contention),
+# lazy-vs-eager expansion equivalence, the overflow-safe grid guard, a
+# trimmed streaming memory-bound run, and the >= 2x pooled cold-run
+# speedup pin. The full 10^5-run memory bound runs in `make test`
+# (it is testing.Short-gated, not smoke-gated).
+coldpath-smoke:
+	$(GO) test ./internal/exp -count=1 -run 'TestPooledMachineDeterminism|TestExpansionMatchesExpand|TestGridTooLarge|TestServerGridTooLarge|TestStreamingSweepMemoryBoundTrimmed|TestStreamingMatchesExecute'
+	$(GO) test -race ./internal/exp -count=1 -run TestPooledSweepParallelDeterminism
+	$(GO) test -run xxx -bench 'BenchmarkColdRun/pooled|BenchmarkSweepExpand/lazy' -benchtime 3x -benchmem .
 
 bench:
 	$(GO) test -bench . -benchmem .

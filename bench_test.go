@@ -20,6 +20,7 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -764,6 +765,143 @@ func BenchmarkResultStoreGet(b *testing.B) {
 			run(b, st, n)
 		})
 	}
+}
+
+// BenchmarkColdRun measures the cold-path provisioning win: a full
+// machine assembly plus one quick-scale PnM transmission (fresh) against
+// the pooled Get→run→Put cycle (pooled), whose reset fast path reuses
+// the machine's allocated DRAM rows, cache arrays, and counter blocks.
+// The pooled subbenchmark pins the two regressions that matter: the
+// cold-run speedup must stay >= 2x (measured ~3.5x; see
+// docs/benchmark.md) and the pooled cycle must allocate at least 8x
+// less than assembly (measured ~47x less).
+func BenchmarkColdRun(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	msg := core.RandomMessage(512, 101)
+	cold := func() {
+		m, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.RunPnM(m, msg, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cold()
+		}
+	})
+
+	b.Run("pooled", func(b *testing.B) {
+		pool := sim.NewPool()
+		cycle := func() {
+			m, err := pool.Get(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.RunPnM(m, msg, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			pool.Put(m)
+		}
+		cycle() // warm the pool so the timed loop hits the reset path
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle()
+		}
+		b.StopTimer()
+
+		pooledPerOp := b.Elapsed() / time.Duration(b.N)
+		const reps = 8
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			cold()
+		}
+		coldPerOp := time.Since(start) / reps
+		ratio := float64(coldPerOp) / float64(pooledPerOp)
+		b.ReportMetric(ratio, "speedup-x")
+		if ratio < 2 {
+			b.Fatalf("pooled cold-run speedup %.2fx below the 2x pin (cold %v, pooled %v)",
+				ratio, coldPerOp, pooledPerOp)
+		}
+
+		coldAllocs := testing.AllocsPerRun(3, cold)
+		pooledAllocs := testing.AllocsPerRun(3, cycle)
+		b.ReportMetric(pooledAllocs, "pooled-allocs")
+		if pooledAllocs > coldAllocs/8 {
+			b.Fatalf("pooled cycle allocates %.0f objects vs %.0f cold: reset is leaking assembly work",
+				pooledAllocs, coldAllocs)
+		}
+	})
+}
+
+// BenchmarkSweepExpand compares eager grid materialization against the
+// lazy iterator at the synchronous bound (a 64x64 = 4096-run grid):
+// Expand allocates the full Cartesian product of resolved configs, while
+// Expansion's construction cost is the decoded axes plus one probed run
+// regardless of grid size — the property that lets the job path afford
+// MaxJobRuns. The lazy subbenchmark pins the gap at two orders of
+// magnitude in allocations.
+func BenchmarkSweepExpand(b *testing.B) {
+	grid := func(path string, n int) string {
+		vals := make([]json.RawMessage, n)
+		for i := range vals {
+			vals[i] = json.RawMessage(fmt.Sprint(i))
+		}
+		blob, _ := json.Marshal(vals)
+		return fmt.Sprintf("%q: %s", path, blob)
+	}
+	spec, err := exp.ParseSpec([]byte(fmt.Sprintf(`{"scenario": "covert-pnm", "grid": {%s, %s}}`,
+		grid("noise.seed", 64), grid("costs.flush_overhead", 64))))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runs, err := spec.Expand()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(runs) != 4096 {
+				b.Fatalf("expanded %d runs", len(runs))
+			}
+		}
+	})
+
+	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x, err := spec.Expansion(exp.MaxRuns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if x.Total() != 4096 {
+				b.Fatalf("expansion covers %d runs", x.Total())
+			}
+		}
+		b.StopTimer()
+		eagerAllocs := testing.AllocsPerRun(1, func() {
+			if _, err := spec.Expand(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		lazyAllocs := testing.AllocsPerRun(1, func() {
+			if _, err := spec.Expansion(exp.MaxRuns); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ReportMetric(lazyAllocs, "lazy-allocs")
+		if lazyAllocs > eagerAllocs/100 {
+			b.Fatalf("lazy expansion allocates %.0f objects vs %.0f eager: construction is no longer O(axes)",
+				lazyAllocs, eagerAllocs)
+		}
+	})
 }
 
 // BenchmarkMetricsObserve measures the serving layer's per-request metrics

@@ -225,6 +225,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *inprocess {
+		// The pool section only means something when this process owns the
+		// whole server lifetime; against a remote server the counters would
+		// mix in every other client's traffic.
+		if doc, err := fetchMetrics(cfg.base); err == nil {
+			sum.MachinePool = &doc.MachinePool
+		}
+	}
 	if err := printSummary(stdout, cfg, sum); err != nil {
 		return err
 	}
@@ -513,6 +521,10 @@ type summary struct {
 	Workers        int                  `json:"workers"`
 	Ops            map[string]opSummary `json:"ops"`
 	Total          opSummary            `json:"total"`
+	// MachinePool is the server's machine-pool traffic over the whole
+	// bench (in -inprocess mode only): how many cold runs reused a pooled
+	// machine via the reset fast path instead of paying full assembly.
+	MachinePool *api.MachinePoolStats `json:"machine_pool,omitempty"`
 }
 
 // summarize folds the metrics set into the report.
@@ -604,5 +616,26 @@ func printSummary(w io.Writer, cfg config, sum *summary) error {
 		row(opNames[op], sum.Ops[opNames[op]])
 	}
 	row("total", sum.Total)
+	if p := sum.MachinePool; p != nil {
+		fmt.Fprintf(w, "machine pool: %d reset reuses, %d fresh builds, %d shape drops\n",
+			p.Hits, p.Misses, p.Drops)
+	}
 	return nil
+}
+
+// fetchMetrics reads the server's /v1/metrics document.
+func fetchMetrics(base string) (*api.MetricsDoc, error) {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/metrics: %s", resp.Status)
+	}
+	var doc api.MetricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
 }

@@ -56,12 +56,17 @@ func newCounters() *stats.Counters {
 }
 
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
+	tag uint64
 	// lastUse orders LRU; rrpv drives SRRIP.
 	lastUse int64
-	rrpv    uint8
+	// epoch stamps the Cache.epoch the line was filled in. A line is valid
+	// iff its epoch equals the cache's current epoch, so Reset invalidates
+	// every line by bumping one counter instead of clearing megabytes of
+	// line metadata. The zero epoch is never current (caches start at 1),
+	// which keeps `line{}` meaning "invalid" for Invalidate/FlushAll.
+	epoch uint32
+	dirty bool
+	rrpv  uint8
 }
 
 // Config describes one cache level.
@@ -93,7 +98,8 @@ type Cache struct {
 	lines    [][]line
 	next     Level
 	counters *stats.Counters
-	tick     int64 // logical use counter for LRU ordering
+	tick     int64  // logical use counter for LRU ordering
+	epoch    uint32 // current validity epoch; lines match it or are invalid
 	onEvict  func(addr uint64)
 }
 
@@ -133,6 +139,7 @@ func New(cfg Config, next Level) (*Cache, error) {
 		lines:    lines,
 		next:     next,
 		counters: newCounters(),
+		epoch:    1,
 	}, nil
 }
 
@@ -172,7 +179,7 @@ func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
 	tag := c.tagOf(addr)
 	ways := c.lines[set]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].epoch == c.epoch && ways[i].tag == tag {
 			c.counters.Add(CounterHit, 1)
 			c.touch(&ways[i])
 			if write {
@@ -190,7 +197,7 @@ func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
 	if !c.direct {
 		victim = c.selectVictim(ways)
 	}
-	if ways[victim].valid {
+	if ways[victim].epoch == c.epoch {
 		wbAddr := c.reconstruct(ways[victim].tag, set)
 		if ways[victim].dirty {
 			c.counters.Add(CounterWriteback, 1)
@@ -205,7 +212,7 @@ func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
 			c.onEvict(wbAddr)
 		}
 	}
-	ways[victim] = line{tag: tag, valid: true, dirty: write, lastUse: c.tick, rrpv: srripMax - 1}
+	ways[victim] = line{tag: tag, epoch: c.epoch, dirty: write, lastUse: c.tick, rrpv: srripMax - 1}
 	return c.cfg.Latency + fill
 }
 
@@ -218,7 +225,7 @@ func (c *Cache) touch(l *line) {
 // selectVictim picks the way to evict in a full set.
 func (c *Cache) selectVictim(ways []line) int {
 	for i := range ways {
-		if !ways[i].valid {
+		if ways[i].epoch != c.epoch {
 			return i
 		}
 	}
@@ -261,7 +268,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	set := c.SetIndex(addr)
 	tag := c.tagOf(addr)
 	for _, l := range c.lines[set] {
-		if l.valid && l.tag == tag {
+		if l.epoch == c.epoch && l.tag == tag {
 			return true
 		}
 	}
@@ -275,7 +282,7 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	tag := c.tagOf(addr)
 	ways := c.lines[set]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].epoch == c.epoch && ways[i].tag == tag {
 			present, dirty = true, ways[i].dirty
 			ways[i] = line{}
 			return present, dirty
@@ -291,4 +298,33 @@ func (c *Cache) FlushAll() {
 			c.lines[s][w] = line{}
 		}
 	}
+}
+
+// Reset returns the cache to its just-constructed state in O(1): bumping
+// the validity epoch invalidates every line without touching megabytes of
+// line metadata (an 8 MiB LLC holds 128k lines), and the tick and counters
+// restart from zero so a pooled machine replays accesses exactly like a
+// fresh one. On the (4-billion-reset) epoch wraparound the lines really
+// are cleared, so stale stamps can never alias back to validity.
+func (c *Cache) Reset() {
+	c.epoch++
+	if c.epoch == 0 {
+		c.FlushAll()
+		c.epoch = 1
+	}
+	c.tick = 0
+	c.counters.Reset()
+}
+
+// Reconfigure resets the cache under a new configuration, reusing the line
+// arrays. Reuse requires the geometry — size, ways, line size — to be
+// unchanged (latency, policy, and name may differ freely); Reconfigure
+// reports whether it was possible and leaves the cache untouched when not.
+func (c *Cache) Reconfigure(cfg Config) bool {
+	if cfg.SizeBytes != c.cfg.SizeBytes || cfg.Ways != c.cfg.Ways || cfg.LineBytes != c.cfg.LineBytes {
+		return false
+	}
+	c.cfg = cfg
+	c.Reset()
+	return true
 }

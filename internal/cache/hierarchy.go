@@ -162,3 +162,18 @@ func (h *Hierarchy) FlushAll() {
 	h.l2.FlushAll()
 	h.llc.FlushAll()
 }
+
+// ResetPrivate returns the hierarchy's private levels (L1, L2) and
+// prefetcher tables to their just-constructed state. The shared LLC is
+// reset separately by the machine that owns it, since several hierarchies
+// share one LLC instance.
+func (h *Hierarchy) ResetPrivate() {
+	h.l1.Reset()
+	h.l2.Reset()
+	if h.ipStride != nil {
+		h.ipStride.Reset()
+	}
+	if h.streamer != nil {
+		h.streamer.Reset()
+	}
+}

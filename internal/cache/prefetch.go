@@ -51,6 +51,13 @@ func (p *IPStridePrefetcher) Observe(pc, addr uint64) (uint64, bool) {
 	return 0, false
 }
 
+// Reset empties the stride table, returning the prefetcher to its
+// just-constructed state (table capacity is retained; no lookup depends on
+// map iteration order, so reuse is behaviorally identical to a fresh table).
+func (p *IPStridePrefetcher) Reset() {
+	clear(p.entries)
+}
+
 // StreamerPrefetcher implements a simple next-line stream prefetcher
 // (Chen & Baer) attached to the L2 in Table 2: when consecutive accesses
 // walk forward within a page, it prefetches the next degree lines.
@@ -89,4 +96,10 @@ func (p *StreamerPrefetcher) Observe(addr uint64) []uint64 {
 		out = append(out, (page<<pageBits)|(next<<lineBits))
 	}
 	return out
+}
+
+// Reset empties the stream table, returning the streamer to its
+// just-constructed state.
+func (p *StreamerPrefetcher) Reset() {
+	clear(p.streams)
 }

@@ -244,3 +244,25 @@ func (b *Bank) Reset() {
 	b.lastTouch = 0
 	b.raa = 0
 }
+
+// ResetFull returns the bank to its just-constructed state: timing state
+// cleared AND functional row contents zeroed. RowClone and WriteBytes leak
+// data between runs otherwise, so pooled machines must use this, not Reset.
+// Row buffers stay allocated (a fresh bank lazily materializes zeroed rows,
+// so zeroing in place is behaviorally identical and allocation-free).
+func (b *Bank) ResetFull() {
+	b.Reset()
+	for _, data := range b.rows {
+		for i := range data {
+			data[i] = 0
+		}
+	}
+}
+
+// Reconfigure fully resets the bank under new timing and maintenance
+// parameters, reusing the allocated row buffers.
+func (b *Bank) Reconfigure(t Timing, m Maintenance) {
+	b.timing = t
+	b.maint = m
+	b.ResetFull()
+}

@@ -170,6 +170,32 @@ func (d *Device) Reset() {
 	}
 }
 
+// ResetFull returns the device to its just-constructed state: every bank
+// fully reset (timing state and row contents) and statistics zeroed, so a
+// pooled machine starts each run indistinguishable from a fresh one.
+func (d *Device) ResetFull() {
+	for _, b := range d.banks {
+		b.ResetFull()
+	}
+	d.counters.Reset()
+}
+
+// Reconfigure fully resets the device under a new configuration, reusing
+// the allocated banks and row buffers. Reuse requires the allocation shape
+// — bank count and row size — to be unchanged; Reconfigure reports whether
+// it was possible and leaves the device untouched when it was not.
+func (d *Device) Reconfigure(cfg Config) bool {
+	if cfg.Validate() != nil || cfg.TotalBanks() != d.cfg.TotalBanks() || cfg.RowBytes != d.cfg.RowBytes {
+		return false
+	}
+	d.cfg = cfg
+	for _, b := range d.banks {
+		b.Reconfigure(cfg.Timing, cfg.Maintenance)
+	}
+	d.counters.Reset()
+	return true
+}
+
 // Counters exposes access statistics: hits, empties, conflicts, rowclones.
 func (d *Device) Counters() *stats.Counters { return d.counters }
 

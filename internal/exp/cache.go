@@ -150,6 +150,22 @@ func (c *Cache) Get(key string) (json.RawMessage, bool) {
 	return blob, ok
 }
 
+// Peek returns the cached bytes for a key without recording a hit or a
+// miss, falling through to the disk store like Get (disk hits are still
+// promoted into memory). Job streams rebuild their results from the cache
+// on replay; that accounting belongs to the sweep that computed the
+// reports, not to every later reader.
+func (c *Cache) Peek(key string) (json.RawMessage, bool) {
+	blob, ok := c.lookup(key)
+	if !ok && c.store != nil {
+		if disk, diskOK := c.store.Get(key); diskOK {
+			blob, ok = disk, true
+			c.add(key, disk)
+		}
+	}
+	return blob, ok
+}
+
 // lookup probes a shard without touching the hit/miss counters (Compute's
 // double-check path must not distort per-request accounting).
 func (c *Cache) lookup(key string) (json.RawMessage, bool) {

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/figures"
+	"repro/internal/sim"
 	"repro/pkg/api"
 )
 
@@ -43,9 +44,12 @@ var ErrSweepCanceled = errors.New("exp: sweep canceled")
 // Engine expands specs and schedules their runs over a bounded worker
 // pool, memoizing every report in a shared content-addressed cache. Safe
 // for concurrent use (the HTTP service calls RunSpec from handler
-// goroutines).
+// goroutines). Machines are recycled through a shared sim.Pool, so cold
+// runs skip full machine assembly whenever a same-shaped machine has run
+// before — across sweeps and requests, not just within one.
 type Engine struct {
 	cache *Cache
+	pool  *sim.Pool
 }
 
 // EngineOption configures an Engine at construction.
@@ -63,7 +67,7 @@ func WithStore(st ResultStore) EngineOption {
 // NewEngine returns an engine with an empty, memory-only cache unless an
 // option says otherwise.
 func NewEngine(opts ...EngineOption) *Engine {
-	e := &Engine{cache: NewCache()}
+	e := &Engine{cache: NewCache(), pool: sim.NewPool()}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -72,6 +76,10 @@ func NewEngine(opts ...EngineOption) *Engine {
 
 // Cache exposes the engine's result cache (for metrics endpoints).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// PoolStats snapshots the engine's machine-pool counters (for metrics
+// endpoints).
+func (e *Engine) PoolStats() sim.PoolStats { return e.pool.Stats() }
 
 // RunSpec expands the spec and produces every report, serving repeated
 // runs from cache. workers == 0 selects runtime.NumCPU(), negative counts
@@ -184,7 +192,7 @@ func (e *Engine) execute(ctx context.Context, runs []Run, workers int, onRun fun
 					r := misses[i]
 					var blob json.RawMessage
 					blob, errs[i] = e.cache.Compute(r.Key, func() (json.RawMessage, error) {
-						return executeRun(r)
+						return e.executeRun(r)
 					})
 					if errs[i] == nil {
 						resolve(r.Key, blob, false)
@@ -221,11 +229,142 @@ func (e *Engine) execute(ctx context.Context, runs []Run, workers int, onRun fun
 	return out, nil
 }
 
+// executeStream produces every report of a lazily expanded sweep without
+// ever materializing the run list or the result set: a feeder goroutine
+// generates runs in expansion order (hashing the spec key incrementally as
+// it goes), workers probe the cache and simulate misses, and each result
+// is handed to onRun as it completes — then dropped, so resident memory is
+// bounded by the worker count no matter how many runs the sweep has. The
+// returned SweepResult carries only aggregates (SpecKey, Hits, Misses);
+// Runs is nil by design.
+//
+// Two accounting differences from execute are deliberate: Hits/Misses
+// count per run (not per unique key), so a sweep whose grid points
+// collapse to one key reports later occurrences as hits; and when several
+// runs fail, the error reported is the failing run with the lowest index
+// (execute reports the lowest-index miss), keeping the reported error
+// deterministic under any worker interleaving. Cancellation semantics are
+// identical to execute.
+func (e *Engine) executeStream(ctx context.Context, x *Expansion, workers int, onRun func(int, RunResult)) (*SweepResult, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("exp: negative worker count %d", workers)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSweepCanceled, err)
+	}
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	total := x.Total()
+	if workers > total {
+		workers = total
+	}
+
+	var (
+		mu       sync.Mutex
+		hits     int
+		misses   int
+		firstErr error
+		errIdx   = total // lowest failing index seen so far
+	)
+	recordErr := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+
+	type item struct {
+		i int
+		r Run
+	}
+	work := make(chan item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				if ctx.Err() != nil {
+					continue
+				}
+				rr := RunResult{
+					RunResult: api.RunResult{
+						Key:      it.r.Key,
+						Scenario: it.r.Scenario,
+						Scale:    it.r.Scale.String(),
+						Params:   it.r.Params,
+					},
+				}
+				if blob, ok := e.cache.Get(it.r.Key); ok {
+					rr.Report, rr.Cached = blob, true
+					mu.Lock()
+					hits++
+					mu.Unlock()
+				} else {
+					blob, err := e.cache.Compute(it.r.Key, func() (json.RawMessage, error) {
+						return e.executeRun(it.r)
+					})
+					if err != nil {
+						recordErr(it.i, fmt.Errorf("exp: scenario %s (%s): %w",
+							it.r.Scenario, FormatParams(it.r.Params), err))
+						continue
+					}
+					rr.Report = blob
+					mu.Lock()
+					misses++
+					mu.Unlock()
+				}
+				if onRun != nil {
+					onRun(it.i, rr)
+				}
+			}
+		}()
+	}
+
+	// The feeder materializes runs one at a time in expansion order; the
+	// spec key is the same hash over the same key sequence execute uses,
+	// accumulated incrementally instead of over a stored slice.
+	specSum := sha256.New()
+feed:
+	for i := 0; i < total; i++ {
+		r, err := x.RunAt(i)
+		if err != nil {
+			// RunAt(0) was probed at construction, so a failure here is a
+			// later grid point the probe could not cover.
+			recordErr(i, err)
+			break
+		}
+		specSum.Write([]byte(r.Key))
+		select {
+		case work <- item{i: i, r: r}:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSweepCanceled, err)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &SweepResult{
+		SpecKey: hex.EncodeToString(specSum.Sum(nil)),
+		Hits:    hits,
+		Misses:  misses,
+	}, nil
+}
+
 // executeRun simulates one concrete run and marshals its report. A panic
 // inside the simulator is confined here: it becomes this run's error (and
 // so a failed sweep), never a dead worker goroutine or a crashed process
-// taking every other job down with it.
-func executeRun(r Run) (blob json.RawMessage, err error) {
+// taking every other job down with it. (The machine pool tolerates this:
+// a machine released mid-run is fully reinitialized before reuse.)
+func (e *Engine) executeRun(r Run) (blob json.RawMessage, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("run panicked: %v\n%s", p, debug.Stack())
@@ -234,7 +373,7 @@ func executeRun(r Run) (blob json.RawMessage, err error) {
 	if err := failpoint("engine.run"); err != nil {
 		return nil, err
 	}
-	rep, err := r.scn.run(r.Config, r.Scale)
+	rep, err := r.scn.run(e.pool, r.Config, r.Scale)
 	if err != nil {
 		return nil, err
 	}

@@ -87,21 +87,26 @@ const (
 	jobsRunsSkipped
 )
 
-// Job is one asynchronous sweep: a spec expanded at submission, executed
-// in the background over the engine's worker pool, with per-run results
-// observable while the sweep runs. Results are retained after completion
-// (for late polls and stream replays) until the registry retires the job.
-// Cancellation travels through the job's context into Engine.execute:
-// once canceled, no further runs are scheduled and the job lands in the
-// terminal canceled state. A graceful shutdown travels the same path but
-// lands in the non-terminal interrupted state, whose journal record a
-// restarted registry resumes from.
+// Job is one asynchronous sweep: a spec validated at submission and
+// expanded lazily (one run at a time) while it executes in the background
+// over the engine's worker pool, with per-run results observable while
+// the sweep runs. The job itself retains no result bytes — only a
+// per-run completion bitmap — so a tracked job costs one bit per run,
+// not one report: WaitRun reconstructs any completed run on demand from
+// the expansion and the engine's content-addressed cache, which is
+// exactly as durable as the cache's backing store. Cancellation travels
+// through the job's context into Engine.executeStream: once canceled, no
+// further runs are scheduled and the job lands in the terminal canceled
+// state. A graceful shutdown travels the same path but lands in the
+// non-terminal interrupted state, whose journal record a restarted
+// registry resumes from.
 type Job struct {
 	// ID names the job in the HTTP API ("job-000001", …).
 	ID string
 
 	seq     int
-	runs    []Run
+	x       *Expansion // nil only when a resumed spec failed to expand
+	engine  *Engine
 	ctx     context.Context
 	cancel  context.CancelFunc
 	resumed bool // re-enqueued from the journal after a restart
@@ -109,8 +114,7 @@ type Job struct {
 	mu           sync.Mutex
 	notify       chan struct{} // closed and replaced on every state change
 	status       string
-	results      []RunResult
-	ready        []bool
+	ready        []bool // per-run completion bitmap, indexed by run
 	completed    int
 	hits         int // completed runs served from cache
 	misses       int // completed runs that were simulated
@@ -124,8 +128,14 @@ type Job struct {
 	journalClosed bool // final record written; no further journal writes
 }
 
-// Total returns the number of concrete runs the job's spec expanded into.
-func (j *Job) Total() int { return len(j.runs) }
+// Total returns the number of concrete runs the job's spec expands into
+// (0 for a resumed job whose spec no longer expands).
+func (j *Job) Total() int {
+	if j.x == nil {
+		return 0
+	}
+	return j.x.Total()
+}
 
 // Info snapshots the job's current state.
 func (j *Job) Info() JobInfo {
@@ -134,7 +144,7 @@ func (j *Job) Info() JobInfo {
 	info := JobInfo{
 		ID:        j.ID,
 		Status:    j.status,
-		Runs:      len(j.runs),
+		Runs:      j.Total(),
 		Completed: j.completed,
 		Hits:      j.hits,
 		Misses:    j.misses,
@@ -198,13 +208,20 @@ func settled(status string) bool {
 // or interrupted sweep) or ctx was canceled first. Results arrive in
 // sweep completion order internally, so waiting index by index streams
 // them in deterministic expansion order.
+//
+// The result is rebuilt on demand rather than retained by the job: the
+// run's identity (key, scenario, params) comes from the deterministic
+// expansion and its report bytes from the engine's content-addressed
+// cache, which holds exactly the blob the sweep computed. With a durable
+// store behind the cache the rebuild always succeeds; on a memory-only
+// engine a report evicted under cache pressure makes WaitRun report the
+// run unavailable, the same answer a settled-short job gives.
 func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
 	for {
 		j.mu.Lock()
 		if i < len(j.ready) && j.ready[i] {
-			rr := j.results[i]
 			j.mu.Unlock()
-			return rr, true
+			return j.rebuildRun(i)
 		}
 		if settled(j.status) {
 			j.mu.Unlock()
@@ -220,18 +237,42 @@ func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
 	}
 }
 
+// rebuildRun reconstructs a completed run's result outside the job lock.
+// Byte-for-byte identical to the result the engine streamed: Params
+// marshal in sorted key order, and the report is the exact cached blob.
+func (j *Job) rebuildRun(i int) (RunResult, bool) {
+	r, err := j.x.RunAt(i)
+	if err != nil {
+		return RunResult{}, false
+	}
+	blob, ok := j.engine.cache.Peek(r.Key)
+	if !ok {
+		return RunResult{}, false
+	}
+	return RunResult{
+		RunResult: api.RunResult{
+			Key:      r.Key,
+			Scenario: r.Scenario,
+			Scale:    r.Scale.String(),
+			Params:   r.Params,
+			Report:   blob,
+		},
+	}, true
+}
+
 // signal wakes every waiter; callers must hold j.mu.
 func (j *Job) signal() {
 	close(j.notify)
 	j.notify = make(chan struct{})
 }
 
-// onRun records one completed run (the engine's execute callback; may be
-// called from several worker goroutines at once).
+// onRun records one completed run (the engine's executeStream callback;
+// may be called from several worker goroutines at once). Only the
+// completion bit and the counters are kept — the result itself is
+// dropped and rebuilt from cache on demand by WaitRun.
 func (j *Job) onRun(i int, rr RunResult) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.results[i] = rr
 	j.ready[i] = true
 	j.completed++
 	if rr.Cached {
@@ -274,8 +315,8 @@ func (j *Job) terminal() bool {
 }
 
 // Jobs is a bounded registry of asynchronous sweeps over one engine.
-// Submissions expand and validate eagerly (bad specs fail synchronously,
-// like POST /v1/run), then execute in a background goroutine. The
+// Submissions validate eagerly (bad specs fail synchronously, like POST
+// /v1/run) but expand lazily, then execute in a background goroutine. The
 // registry holds at most max jobs: when full, the oldest terminal job is
 // retired FIFO to make room, and if every tracked job is still queued or
 // running the submission is rejected with ErrTooManyJobs — so memory
@@ -324,14 +365,17 @@ func NewJobs(engine *Engine, workers, max int, journal *Journal) *Jobs {
 }
 
 // Submit validates and enqueues a spec, returning the queued job. The
-// spec is expanded synchronously so malformed submissions fail with the
-// same errors as POST /v1/run; execution happens in the background. With
-// a journal, the job's ID allocation is made durable before the ID is
+// spec is validated synchronously so malformed submissions fail with the
+// same errors as POST /v1/run, but expansion itself is lazy: the grid is
+// never materialized, so a job may sweep up to MaxJobRuns runs (far past
+// the synchronous endpoint's MaxRuns) without the submission allocating
+// more than one run. Execution happens in the background. With a
+// journal, the job's ID allocation is made durable before the ID is
 // returned (a failed watermark write rejects the submission — an ID a
 // rebooted server could reissue must never escape), and the spec and
 // queued-status records follow best-effort.
 func (js *Jobs) Submit(spec Spec) (*Job, error) {
-	runs, err := spec.Expand()
+	x, err := spec.Expansion(MaxJobRuns)
 	if err != nil {
 		return nil, err
 	}
@@ -368,15 +412,15 @@ func (js *Jobs) Submit(spec Spec) (*Job, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		ID:      formatJobID(js.seq),
-		seq:     js.seq,
-		runs:    runs,
-		ctx:     ctx,
-		cancel:  cancel,
-		notify:  make(chan struct{}),
-		status:  JobQueued,
-		results: make([]RunResult, len(runs)),
-		ready:   make([]bool, len(runs)),
+		ID:     formatJobID(js.seq),
+		seq:    js.seq,
+		x:      x,
+		engine: js.engine,
+		ctx:    ctx,
+		cancel: cancel,
+		notify: make(chan struct{}),
+		status: JobQueued,
+		ready:  make([]bool, x.Total()),
 	}
 	js.jobs[j.ID] = j
 	js.order = append(js.order, j.ID)
@@ -411,7 +455,7 @@ func (js *Jobs) run(j *Job) {
 	j.mu.Unlock()
 	js.journalState(j, true)
 
-	res, err := js.engine.execute(j.ctx, j.runs, js.workers, func(i int, rr RunResult) {
+	res, err := js.engine.executeStream(j.ctx, j.x, js.workers, func(i int, rr RunResult) {
 		j.onRun(i, rr)
 		if j.resumed && rr.Cached {
 			js.met.Add(jobsRunsSkipped, 1)
@@ -535,19 +579,21 @@ func (js *Jobs) Recover() int {
 			js.met.Add(jobsRetired, 1)
 			continue
 		}
-		runs, err := e.Spec.Expand()
+		x, err := e.Spec.Expansion(MaxJobRuns)
 		ctx, cancel := context.WithCancel(context.Background())
 		j := &Job{
 			ID:      e.ID,
 			seq:     e.Seq,
-			runs:    runs,
+			x:       x,
+			engine:  js.engine,
 			ctx:     ctx,
 			cancel:  cancel,
 			notify:  make(chan struct{}),
 			status:  JobQueued,
 			resumed: true,
-			results: make([]RunResult, len(runs)),
-			ready:   make([]bool, len(runs)),
+		}
+		if x != nil {
+			j.ready = make([]bool, x.Total())
 		}
 		js.mu.Lock()
 		js.jobs[j.ID] = j

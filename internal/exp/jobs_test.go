@@ -218,6 +218,11 @@ func blockRun(eng *Engine, key string) (release func(blob json.RawMessage, err e
 	eng.cache.flightMu.Unlock()
 	return func(blob json.RawMessage, err error) {
 		call.blob, call.err = blob, err
+		if err == nil {
+			// Mirror a real Compute leader, which stores its result before
+			// waking waiters: job streams rebuild their lines from the cache.
+			eng.cache.Put(key, blob)
+		}
 		close(call.done)
 	}
 }

@@ -10,15 +10,30 @@ import (
 )
 
 // scenario is one runnable experiment kind. Config-sensitive scenarios
-// build a sim.Machine from the run's resolved sim.Config, so grids over
-// config fields sweep real system parameters; figure scenarios replay a
-// paper artifact, which constructs its own fixed machines.
+// acquire a sim.Machine for the run's resolved sim.Config from the
+// engine's machine pool (falling back to sim.New when pool is nil), so
+// grids over config fields sweep real system parameters without paying
+// full machine assembly per run; figure scenarios replay a paper
+// artifact, which constructs its own fixed machines and ignores the pool.
 type scenario struct {
 	Name            string `json:"name"`
 	Description     string `json:"description"`
 	ConfigSensitive bool   `json:"config_sensitive"`
 
-	run func(cfg sim.Config, scale figures.Scale) (figures.Report, error)
+	run func(pool *sim.Pool, cfg sim.Config, scale figures.Scale) (figures.Report, error)
+}
+
+// acquireMachine builds a machine for cfg, through the pool when one is
+// provided. The pool's Get is exactly equivalent to sim.New — Reset is
+// provably state-free (TestPooledMachineDeterminism) — so callers cannot
+// observe which path produced the machine.
+func acquireMachine(pool *sim.Pool, cfg sim.Config) (*sim.Machine, func(), error) {
+	if pool == nil {
+		m, err := sim.New(cfg)
+		return m, func() {}, err
+	}
+	m, err := pool.Get(cfg)
+	return m, func() { pool.Put(m) }, err
 }
 
 // covertRunner adapts one covert-channel protocol into a scenario. Each
@@ -30,11 +45,12 @@ func covertRunner(name, desc string, seed uint64,
 		Name:            name,
 		Description:     desc,
 		ConfigSensitive: true,
-		run: func(cfg sim.Config, scale figures.Scale) (figures.Report, error) {
-			m, err := sim.New(cfg)
+		run: func(pool *sim.Pool, cfg sim.Config, scale figures.Scale) (figures.Report, error) {
+			m, release, err := acquireMachine(pool, cfg)
 			if err != nil {
 				return figures.Report{}, err
 			}
+			defer release()
 			msg := core.RandomMessage(scale.Bits(), seed)
 			res, err := fn(m, msg, core.Options{})
 			if err != nil {
@@ -62,9 +78,14 @@ func covertReport(name string, res core.Result) figures.Report {
 	}
 }
 
+// testScenarios holds extra registry entries injected by tests (for
+// example a microsecond-cost synthetic scenario that makes a 10^5-run
+// memory-bound sweep affordable). Production code never appends to it.
+var testScenarios []scenario
+
 // scenarios returns the full registry in presentation order: the
 // config-sensitive covert channels first, then every paper artifact from
-// the figures registry.
+// the figures registry, then any test-injected entries.
 func scenarios() []scenario {
 	out := []scenario{
 		covertRunner("covert-pnm", "IMPACT PnM covert channel (PEI row-buffer probes)", 101, core.RunPnM),
@@ -79,12 +100,12 @@ func scenarios() []scenario {
 		out = append(out, scenario{
 			Name:        id,
 			Description: fmt.Sprintf("paper artifact %q from the figures registry", id),
-			run: func(_ sim.Config, scale figures.Scale) (figures.Report, error) {
+			run: func(_ *sim.Pool, _ sim.Config, scale figures.Scale) (figures.Report, error) {
 				return figures.Run(id, scale)
 			},
 		})
 	}
-	return out
+	return append(out, testScenarios...)
 }
 
 // ScenarioNames lists every runnable scenario in presentation order.

@@ -483,10 +483,16 @@ type (
 // never touch the result cache or the experiment counters (scrapers poll
 // this endpoint, and polling is not traffic).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	pool := s.engine.PoolStats()
 	doc := MetricsDoc{
 		Requests: make(map[string]RouteMetrics, routeCount),
 		Cache:    s.engine.Cache().Stats(),
 		Jobs:     s.jobs.Stats(),
+		MachinePool: api.MachinePoolStats{
+			Hits:   pool.Hits,
+			Misses: pool.Misses,
+			Drops:  pool.Drops,
+		},
 	}
 	// The store section's shape follows the configured backend. The pack
 	// engine is detected structurally (exp never imports internal/exp/pack;
@@ -553,6 +559,9 @@ func statusFor(err error) (int, api.ErrorCode) {
 	}
 	if errors.Is(err, ErrSweepCanceled) {
 		return 499, api.CodeJobCanceled
+	}
+	if errors.Is(err, ErrGridTooLarge) {
+		return http.StatusBadRequest, api.CodeGridTooLarge
 	}
 	return http.StatusBadRequest, api.CodeInvalidSpec
 }

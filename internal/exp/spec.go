@@ -41,13 +41,27 @@ import (
 	"repro/pkg/api"
 )
 
-// MaxRuns bounds how many concrete runs one spec may expand into, so a
-// malformed or hostile grid cannot wedge the server.
+// MaxRuns bounds how many concrete runs one spec may expand into on the
+// synchronous path, so a malformed or hostile grid cannot wedge the
+// server. The async job path streams runs through a lazy Expansion and
+// affords the much larger MaxJobRuns.
 const MaxRuns = 4096
+
+// MaxJobRuns bounds lazily expanded (async job) sweeps. Lazy expansion
+// never materializes the Cartesian product and results stream into the
+// content-addressed store as they complete, so the bound exists only to
+// keep one job from monopolizing a server indefinitely.
+const MaxJobRuns = 1 << 20
 
 // ErrUnknownScenario tags expansion failures caused by a scenario name
 // that is not in the registry (servers map it to 404 rather than 400).
 var ErrUnknownScenario = errors.New("exp: unknown scenario")
+
+// ErrGridTooLarge tags specs whose grid expands past the endpoint's run
+// bound. The run count is computed with overflow-safe arithmetic, so a
+// grid sized to overflow int lands here instead of in a huge or negative
+// allocation (servers map it to 400 with code grid_too_large).
+var ErrGridTooLarge = errors.New("exp: grid too large")
 
 // Spec is the engine-side form of an experiment sweep. Its wire shape is
 // api.RunSpec — the two convert freely — with the expansion machinery
@@ -86,36 +100,47 @@ type Run struct {
 	scn scenario
 }
 
-// Expand resolves the spec into concrete runs: grid fields are sorted
-// lexicographically and the Cartesian product is walked row-major (last
-// field fastest), so expansion order — and therefore sweep output — is a
-// pure function of the spec.
-func (s Spec) Expand() ([]Run, error) {
+// resolve validates the spec's front matter — scenario, scale, config
+// overlay — and returns the pieces expansion needs (shared by the eager
+// Expand and the lazy Expansion).
+func (s Spec) resolve() (scenario, figures.Scale, map[string]any, error) {
 	scn, ok := scenarioByName(s.Scenario)
 	if !ok {
-		return nil, fmt.Errorf("%w %q (known: %s)", ErrUnknownScenario, s.Scenario, strings.Join(ScenarioNames(), ", "))
+		return scenario{}, 0, nil, fmt.Errorf("%w %q (known: %s)", ErrUnknownScenario, s.Scenario, strings.Join(ScenarioNames(), ", "))
 	}
 	scale, err := figures.ParseScale(s.Scale)
 	if err != nil {
-		return nil, err
+		return scenario{}, 0, nil, err
 	}
 	// Figure-replay scenarios build their own fixed machines; accepting
 	// overrides or grids for them would produce runs labeled with
 	// parameters that were never applied.
 	if !scn.ConfigSensitive && (len(s.Config) > 0 || len(s.Grid) > 0) {
-		return nil, fmt.Errorf("exp: scenario %q replays a fixed paper artifact and ignores sim.Config; drop the config/grid fields", s.Scenario)
+		return scenario{}, 0, nil, fmt.Errorf("exp: scenario %q replays a fixed paper artifact and ignores sim.Config; drop the config/grid fields", s.Scenario)
 	}
 
 	base, err := defaultConfigDoc()
 	if err != nil {
-		return nil, err
+		return scenario{}, 0, nil, err
 	}
 	if len(s.Config) > 0 {
 		patch, err := decodeDoc(s.Config)
 		if err != nil {
-			return nil, fmt.Errorf(`exp: spec field "config": %v`, err)
+			return scenario{}, 0, nil, fmt.Errorf(`exp: spec field "config": %v`, err)
 		}
 		deepMerge(base, patch)
+	}
+	return scn, scale, base, nil
+}
+
+// Expand resolves the spec into concrete runs: grid fields are sorted
+// lexicographically and the Cartesian product is walked row-major (last
+// field fastest), so expansion order — and therefore sweep output — is a
+// pure function of the spec.
+func (s Spec) Expand() ([]Run, error) {
+	scn, scale, base, err := s.resolve()
+	if err != nil {
+		return nil, err
 	}
 
 	paths := make([]string, 0, len(s.Grid))
@@ -124,8 +149,11 @@ func (s Spec) Expand() ([]Run, error) {
 		if len(vals) == 0 {
 			return nil, fmt.Errorf(`exp: grid field %q has no values`, path)
 		}
+		// Guard the product before multiplying: total*len(vals) could
+		// overflow int on an adversarial grid, and the quotient form
+		// cannot (len(vals) >= 1, so the division is always defined).
 		if total > MaxRuns/len(vals) {
-			return nil, fmt.Errorf("exp: grid expands to more than %d runs", MaxRuns)
+			return nil, fmt.Errorf("%w: grid expands to more than %d runs", ErrGridTooLarge, MaxRuns)
 		}
 		total *= len(vals)
 		paths = append(paths, path)
@@ -164,6 +192,117 @@ func (s Spec) Expand() ([]Run, error) {
 		runs = append(runs, run)
 	}
 	return runs, nil
+}
+
+// gridAxis is one grid field of an Expansion: its decoded values and their
+// canonical JSON labels, fixed at construction so RunAt never re-parses.
+type gridAxis struct {
+	path   string
+	vals   []any
+	labels []string
+}
+
+// Expansion is a lazily expanded spec: RunAt(i) materializes run i on
+// demand in exactly the row-major order Expand uses (sorted grid paths,
+// last field fastest), so run content addresses — and therefore sweep
+// bodies — are byte-identical to the eager path's while a 10^5-run grid
+// never allocates its full Cartesian product. Construction validates
+// everything Expand would: the front matter, every grid value's JSON, and
+// (by probing the first grid point) that the grid paths name real config
+// fields the simulator accepts.
+//
+// An Expansion is immutable after construction and safe for concurrent
+// RunAt calls: each call deep-copies the base document before applying its
+// grid point.
+type Expansion struct {
+	scn   scenario
+	scale figures.Scale
+	base  map[string]any
+	axes  []gridAxis
+	total int
+}
+
+// Expansion resolves the spec into a lazy run iterator bounded by limit
+// (MaxRuns for the synchronous path, MaxJobRuns for jobs).
+func (s Spec) Expansion(limit int) (*Expansion, error) {
+	scn, scale, base, err := s.resolve()
+	if err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(s.Grid))
+	for path := range s.Grid {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	total := 1
+	axes := make([]gridAxis, 0, len(paths))
+	for _, path := range paths {
+		raws := s.Grid[path]
+		if len(raws) == 0 {
+			return nil, fmt.Errorf(`exp: grid field %q has no values`, path)
+		}
+		// Same overflow-safe product guard as Expand: divide, never
+		// multiply unchecked.
+		if total > limit/len(raws) {
+			return nil, fmt.Errorf("%w: grid expands to more than %d runs", ErrGridTooLarge, limit)
+		}
+		total *= len(raws)
+		ax := gridAxis{path: path, vals: make([]any, len(raws)), labels: make([]string, len(raws))}
+		for i, raw := range raws {
+			val, err := decodeValue(raw)
+			if err != nil {
+				return nil, fmt.Errorf("exp: grid field %q: %v", path, err)
+			}
+			canon, err := json.Marshal(val)
+			if err != nil {
+				return nil, fmt.Errorf("exp: grid field %q: %v", path, err)
+			}
+			ax.vals[i] = val
+			ax.labels[i] = string(canon)
+		}
+		axes = append(axes, ax)
+	}
+
+	x := &Expansion{scn: scn, scale: scale, base: base, axes: axes, total: total}
+	// Probe the first grid point now: lazy expansion moves setPath and
+	// sim.FromJSON validation from submit time to run time, and a grid
+	// whose paths misname config fields fails identically at every point —
+	// catching it here keeps bad specs failing synchronously, like Expand.
+	if _, err := x.RunAt(0); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Total returns the number of runs the spec expands into (always >= 1).
+func (x *Expansion) Total() int { return x.total }
+
+// RunAt materializes run i in expansion order.
+func (x *Expansion) RunAt(i int) (Run, error) {
+	if i < 0 || i >= x.total {
+		return Run{}, fmt.Errorf("exp: run index %d out of range [0,%d)", i, x.total)
+	}
+	cfgDoc := deepCopy(x.base)
+	params := make(map[string]string, len(x.axes))
+	stride := x.total
+	for _, ax := range x.axes {
+		stride /= len(ax.vals)
+		j := (i / stride) % len(ax.vals)
+		if err := setPath(cfgDoc, ax.path, ax.vals[j]); err != nil {
+			return Run{}, err
+		}
+		params[ax.path] = ax.labels[j]
+	}
+	run, err := newRun(x.scn, x.scale, cfgDoc, params)
+	if err != nil {
+		if len(params) == 0 {
+			return Run{}, fmt.Errorf("exp: %w", err)
+		}
+		return Run{}, fmt.Errorf("exp: grid point %s: %w", FormatParams(params), err)
+	}
+	return run, nil
 }
 
 // newRun validates one concrete config document and computes the run's

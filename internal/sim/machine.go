@@ -81,6 +81,63 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// Reset returns the machine to the exact state New(cfg) would produce,
+// reusing the expensive allocations — DRAM banks with their row buffers and
+// every cache level's line arrays (~9 MB, ~17k allocations per machine) —
+// when the new configuration's allocation shape matches the old one. It
+// reports whether reuse was possible; on false the machine is left
+// untouched and the caller must build a fresh one with New.
+//
+// Reuse requires: same core count, same DRAM bank count and row size, same
+// LLC geometry (bytes/ways), and the same prefetcher setting. Everything
+// else (timing, defenses, costs, noise seed, LLC latency) reconfigures in
+// place. Reset must be provably state-free: the pool-purity test suite in
+// internal/exp runs every scenario on pooled and fresh machines and
+// requires byte-identical reports.
+func (m *Machine) Reset(cfg Config) bool {
+	if cfg.Cores != m.cfg.Cores || cfg.Cores < 1 || cfg.EnablePrefetchers != m.cfg.EnablePrefetchers {
+		return false
+	}
+	if cfg.DRAM.Validate() != nil ||
+		cfg.DRAM.TotalBanks() != m.cfg.DRAM.TotalBanks() ||
+		cfg.DRAM.RowBytes != m.cfg.DRAM.RowBytes {
+		return false
+	}
+	llcLatency := cfg.LLCLatency
+	if llcLatency <= 0 {
+		llcLatency = cacti.LLCLatencyWays(float64(cfg.LLCBytes)/float64(1<<20), cfg.LLCWays)
+	}
+	hcfg := cfg.hierarchyConfig(llcLatency)
+	llcCfg := m.llc.Config()
+	if hcfg.LLC.SizeBytes != llcCfg.SizeBytes || hcfg.LLC.Ways != llcCfg.Ways || hcfg.LLC.LineBytes != llcCfg.LineBytes {
+		return false
+	}
+	mapper, err := dram.NewAddrMapper(cfg.DRAM, cfg.Mapping)
+	if err != nil {
+		return false
+	}
+	// All checks passed: commit. From here every step succeeds, so the
+	// machine can never be left half-reconfigured.
+	m.cfg = cfg
+	m.device.Reconfigure(cfg.DRAM)
+	m.ctrl = memctrl.New(m.device, cfg.Mem)
+	m.mapper = mapper
+	m.llc.Reconfigure(hcfg.LLC)
+	for _, c := range m.cores {
+		c.hier.ResetPrivate()
+		c.hier.FlushOverhead = cfg.Costs.FlushOverhead
+		c.mmu.Reset()
+		c.Reset()
+	}
+	// The tiny engines close over the controller/mapper just rebuilt, so
+	// they are rebuilt rather than reset; their cost is a few map/struct
+	// allocations, not the megabytes the reuse path exists to save.
+	m.pei = pim.NewPEIEngine(m.ctrl, m.mapper, m.llc, cfg.PEICosts)
+	m.rowClone = pim.NewRowCloneEngine(m.ctrl, cfg.RowCloneCosts)
+	m.noise = newNoise(m, cfg.Noise)
+	return true
+}
+
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 

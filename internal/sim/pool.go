@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool recycles Machine allocations across runs. Building a machine costs
+// ~9 MB and ~17k allocations (DRAM banks, three cache levels' line arrays),
+// which is roughly half of a cold run; a pooled machine whose allocation
+// shape matches the requested configuration is Reset in microseconds
+// instead. Machines are pooled per shape — the tuple of everything
+// Machine.Reset refuses to change (core count, prefetcher wiring, DRAM
+// bank geometry, LLC geometry) — so a sweep alternating between, say, two
+// LLC sizes reuses a machine of each shape instead of thrashing one slot.
+//
+// Pool is safe for concurrent use. Get hands out machines configured
+// exactly as New(cfg) would produce them — Reset is provably state-free
+// (see TestPooledMachineDeterminism in internal/exp) — and Put returns a
+// machine for reuse in any state, since the next Get fully reinitializes
+// it. Machines are retained under sync.Pool semantics: idle ones may be
+// dropped at any GC, so the pool never pins memory under low load.
+type Pool struct {
+	mu     sync.Mutex
+	shapes map[string]*sync.Pool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	drops  atomic.Int64
+}
+
+// NewPool returns an empty machine pool.
+func NewPool() *Pool {
+	return &Pool{shapes: make(map[string]*sync.Pool)}
+}
+
+// PoolStats counts pool traffic: Hits reused a pooled machine, Misses built
+// a fresh one, and Drops (a subset of Misses) discarded a pooled machine
+// that Reset nevertheless refused (an invalid or exotic configuration the
+// shape key cannot distinguish).
+type PoolStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Drops  int64 `json:"drops"`
+}
+
+// shapeKey renders the allocation shape Machine.Reset requires to match:
+// two configs with equal keys differ only in parameters Reset can apply
+// in place. LLC line size is fixed by hierarchyConfig, so bytes+ways
+// determine the LLC arrays.
+func shapeKey(cfg Config) string {
+	return fmt.Sprintf("c%d,p%t,b%d,r%d,l%d/%d",
+		cfg.Cores, cfg.EnablePrefetchers,
+		cfg.DRAM.TotalBanks(), cfg.DRAM.RowBytes,
+		cfg.LLCBytes, cfg.LLCWays)
+}
+
+// shape returns the sync.Pool for one allocation shape.
+func (p *Pool) shape(key string) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp := p.shapes[key]
+	if sp == nil {
+		sp = &sync.Pool{}
+		p.shapes[key] = sp
+	}
+	return sp
+}
+
+// Get returns a machine configured as New(cfg) would produce, reusing a
+// pooled machine's allocations when possible.
+func (p *Pool) Get(cfg Config) (*Machine, error) {
+	sp := p.shape(shapeKey(cfg))
+	if m, _ := sp.Get().(*Machine); m != nil {
+		if m.Reset(cfg) {
+			p.hits.Add(1)
+			return m, nil
+		}
+		// Reset refused despite the matching shape key (for example a
+		// config that no longer validates): discard to GC and build fresh
+		// rather than re-pooling a machine Get can never hand out.
+		p.drops.Add(1)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.misses.Add(1)
+	return m, nil
+}
+
+// Put returns a machine to the pool for a future Get of the same shape.
+// It accepts machines in any state (including mid-run state after a
+// panic): Get fully reinitializes them before reuse. Put(nil) is a no-op.
+func (p *Pool) Put(m *Machine) {
+	if m != nil {
+		p.shape(shapeKey(m.Config())).Put(m)
+	}
+}
+
+// Stats returns a snapshot of pool traffic counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Hits:   p.hits.Load(),
+		Misses: p.misses.Load(),
+		Drops:  p.drops.Load(),
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPoolShapeSharding pins the pool's routing: configs that differ only
+// in Reset-applicable parameters share a shard (reuse), configs with a
+// different allocation shape get their own shard (no thrash between
+// alternating shapes), and a shape-matching config that Reset still
+// refuses is dropped rather than handed out.
+func TestPoolShapeSharding(t *testing.T) {
+	pool := NewPool()
+
+	cfgA := DefaultConfig()
+	cfgB := DefaultConfig()
+	cfgB.Costs.FlushOverhead += 100 // same shape as A
+	cfgC := DefaultConfig()
+	cfgC.LLCBytes = 4 << 20 // different LLC geometry: own shard
+
+	mA, err := pool.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(mA)
+	if st := pool.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after first Get: stats %+v, want 0 hits / 1 miss", st)
+	}
+
+	// Same shape, different behavior parameters: must reuse mA.
+	mB, err := pool.Get(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mB != mA {
+		t.Fatal("same-shape Get did not reuse the pooled machine")
+	}
+	if got, want := mB.Config().Costs.FlushOverhead, cfgB.Costs.FlushOverhead; got != want {
+		t.Fatalf("reused machine kept stale config: flush overhead %d, want %d", got, want)
+	}
+
+	// Different LLC geometry while mB is checked out: fresh build in a
+	// separate shard, and returning both machines keeps both shapes pooled.
+	mC, err := pool.Get(cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mC == mB {
+		t.Fatal("different-shape Get reused a machine whose LLC arrays cannot fit")
+	}
+	pool.Put(mB)
+	pool.Put(mC)
+
+	// Alternate shapes: each Get must hit its own shard, never dropping.
+	for i := 0; i < 4; i++ {
+		cfg := cfgA
+		if i%2 == 1 {
+			cfg = cfgC
+		}
+		m, err := pool.Get(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(m)
+	}
+	st := pool.Stats()
+	if st.Drops != 0 {
+		t.Fatalf("stats %+v: alternating shapes dropped machines instead of sharding", st)
+	}
+	if st.Hits < 5 { // mB reuse + 4 alternating reuses (sync.Pool may GC-drop, but not in this window)
+		t.Fatalf("stats %+v: expected at least 5 reset reuses", st)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("stats %+v: expected exactly one fresh build per shape", st)
+	}
+}
+
+// TestPoolDropOnResetRefusal exercises the defensive drop path: a config
+// whose shape key matches a pooled machine but which Machine.Reset still
+// refuses (RowsPerBank is not part of the allocation shape, yet zero fails
+// DRAM validation). The pooled machine must be discarded — not re-pooled —
+// and Get must surface New's error.
+func TestPoolDropOnResetRefusal(t *testing.T) {
+	pool := NewPool()
+	m, err := pool.Get(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(m)
+
+	bad := DefaultConfig()
+	bad.DRAM.RowsPerBank = 0 // same TotalBanks/RowBytes, fails Validate
+	if _, err := pool.Get(bad); err == nil || !strings.Contains(err.Error(), "rows per bank") {
+		t.Fatalf("Get(invalid config) error = %v, want rows-per-bank validation failure", err)
+	}
+	st := pool.Stats()
+	if st.Drops != 1 {
+		t.Fatalf("stats %+v: Reset refusal must count as a drop", st)
+	}
+
+	// The dropped machine is gone for good; the next valid Get of that
+	// shape rebuilds fresh.
+	m2, err := pool.Get(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 == m {
+		t.Fatal("dropped machine was handed out again")
+	}
+	if st := pool.Stats(); st.Misses != 2 {
+		t.Fatalf("stats %+v: expected a fresh build after the drop", st)
+	}
+}

@@ -92,6 +92,14 @@ func (t *TLB) FlushAll() {
 	}
 }
 
+// Reset returns the TLB to its just-constructed state: entries cleared and
+// the LRU tick restarted. TLBs are small (at most 1536 entries), so a plain
+// clear is cheap enough not to need the cache package's epoch trick.
+func (t *TLB) Reset() {
+	t.FlushAll()
+	t.tick = 0
+}
+
 // Walker performs the memory accesses of a page-table walk. The MMU calls
 // it once per walk level; implementations route the access to the memory
 // system so walks disturb DRAM state.
@@ -157,4 +165,15 @@ func (m *MMU) FlushAll() {
 	m.dtlb4k.FlushAll()
 	m.dtlb2m.FlushAll()
 	m.stlb.FlushAll()
+}
+
+// Reset returns the MMU to its just-constructed state: every TLB level
+// cleared with LRU ticks restarted, and all counters zeroed. The walker is
+// retained — it closes over the owning machine's memory system, which the
+// machine resets itself.
+func (m *MMU) Reset() {
+	m.dtlb4k.Reset()
+	m.dtlb2m.Reset()
+	m.stlb.Reset()
+	m.counters.Reset()
 }

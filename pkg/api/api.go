@@ -279,13 +279,25 @@ type JobsStats struct {
 	JournalCorruptDropped int64 `json:"journal_corrupt_dropped,omitempty"`
 }
 
+// MachinePoolStats is the machine-pool section of /v1/metrics: how cold
+// runs were provisioned. Hits reused a pooled machine via the reset fast
+// path, Misses assembled a fresh machine because the pool was empty, and
+// Drops discarded a pooled machine whose shape the requested config could
+// not reuse (and then assembled fresh).
+type MachinePoolStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Drops  int64 `json:"drops"`
+}
+
 // MetricsDoc is the GET /v1/metrics response body. Exactly one of Store
 // and Pack is present when the engine has a durable disk store
 // configured: Store for the per-file backend, Pack for the pack engine.
 type MetricsDoc struct {
-	Requests map[string]RouteMetrics `json:"requests"`
-	Cache    CacheStats              `json:"cache"`
-	Store    *StoreStats             `json:"store,omitempty"`
-	Pack     *PackStats              `json:"pack,omitempty"`
-	Jobs     JobsStats               `json:"jobs"`
+	Requests    map[string]RouteMetrics `json:"requests"`
+	Cache       CacheStats              `json:"cache"`
+	Store       *StoreStats             `json:"store,omitempty"`
+	Pack        *PackStats              `json:"pack,omitempty"`
+	Jobs        JobsStats               `json:"jobs"`
+	MachinePool MachinePoolStats        `json:"machine_pool"`
 }

@@ -52,6 +52,11 @@ const (
 	// CodeRunFailed: a simulation inside the sweep failed (the job
 	// stream's trailing error line for failed sweeps).
 	CodeRunFailed ErrorCode = "run_failed"
+	// CodeGridTooLarge: the spec's grid expands to more runs than the
+	// endpoint allows (400). The Cartesian product is computed with
+	// overflow-safe arithmetic, so adversarially large grids get this
+	// error rather than a huge or integer-overflowed allocation.
+	CodeGridTooLarge ErrorCode = "grid_too_large"
 	// CodeInternal: the server failed in a way the request did not cause.
 	CodeInternal ErrorCode = "internal"
 )
