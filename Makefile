@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke objsweep
+.PHONY: ci fmt vet vet-extra lint build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke objsweep
 
-ci: fmt vet build test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke bench-smoke
+ci: fmt vet vet-extra build lint test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -10,6 +10,29 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# impact-lint: the project-specific analyzer suite (see docs/lint.md).
+# Any finding fails the build; suppress only with a reasoned
+# //lint:ignore directive.
+lint:
+	$(GO) run ./cmd/impact-lint ./...
+
+# Pinned third-party analyzers, best-effort: `go run` fetches them on
+# toolchains with module access and runs them; on the network-isolated CI
+# image the fetch fails fast and the step skips rather than fakes a pass.
+STATICCHECK_VERSION ?= honnef.co/go/tools/cmd/staticcheck@2024.1.1
+GOVULNCHECK_VERSION ?= golang.org/x/vuln/cmd/govulncheck@v1.1.3
+vet-extra:
+	@if $(GO) run $(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "vet-extra: staticcheck unavailable (offline toolchain); skipping"; \
+	fi
+	@if $(GO) run $(GOVULNCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run $(GOVULNCHECK_VERSION) ./...; \
+	else \
+		echo "vet-extra: govulncheck unavailable (offline toolchain); skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -25,7 +48,9 @@ test:
 race:
 	$(GO) test -race ./internal/figures -run TestRunParallelMatchesSequential
 	$(GO) test -race ./internal/metrics
+	$(GO) test -race ./internal/sim
 	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore|TestJournal|TestGraceful|TestCrash|TestCancelBeats|TestRunPanic|TestPooledSweepParallelDeterminism|TestStreamingSweepMemoryBoundTrimmed'
+	$(GO) test -race ./internal/exp/fsio
 	$(GO) test -race ./internal/exp/pack
 	$(GO) test -race ./pkg/client
 

@@ -1,0 +1,88 @@
+// Command impact-lint is the project's multichecker: it runs the
+// internal/lint analyzer suite — the mechanical form of the invariants
+// this repository's correctness rests on — across the module and fails
+// the build on any violation.
+//
+//	impact-lint ./...              # everything (the `make lint` entry)
+//	impact-lint -only atomicwrite ./internal/exp/...
+//	impact-lint -list              # what would run, with one-line docs
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure (a package
+// failed to load or type-check).
+//
+// Suppressions are `//lint:ignore <check>[,<check>] <reason>` on or
+// directly above the flagged line; the reason is mandatory and malformed
+// directives are themselves findings. See docs/lint.md for the rule
+// catalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("impact-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", ".", "directory to run `go list` from (the module root)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.Lookup(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "impact-lint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "impact-lint: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "impact-lint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "impact-lint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+		return 1
+	}
+	return 0
+}

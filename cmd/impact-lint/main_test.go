@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the acceptance smoke: the shipped tree must pass
+// its own analyzer suite. Any regression that `make lint` would catch in
+// CI fails here first.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("impact-lint on the repo: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("unexpected findings:\n%s", stdout.String())
+	}
+}
+
+// TestList pins the multichecker's roster output.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"nodeterminism", "atomicwrite", "hotpathalloc", "ctxplumb", "apienvelope"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzer pins the operational-failure exit code.
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nosuchcheck"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-only nosuchcheck: exit %d, want 2", code)
+	}
+}

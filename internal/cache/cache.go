@@ -156,10 +156,13 @@ func (c *Cache) LineBits() uint { return c.lineBits }
 func (c *Cache) Counters() *stats.Counters { return c.counters }
 
 // SetIndex returns the set an address maps to.
+//
+//impact:hotpath
 func (c *Cache) SetIndex(addr uint64) int {
 	return int((addr >> c.lineBits) & c.setMask)
 }
 
+//impact:hotpath
 func (c *Cache) tagOf(addr uint64) uint64 {
 	return addr >> c.tagShift
 }
@@ -173,6 +176,8 @@ func setBits(sets int) int {
 }
 
 // Access serves a load or store, returning its latency.
+//
+//impact:hotpath
 func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
 	c.tick++
 	set := c.SetIndex(addr)
@@ -217,12 +222,16 @@ func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
 }
 
 // touch updates replacement metadata on a hit.
+//
+//impact:hotpath
 func (c *Cache) touch(l *line) {
 	l.lastUse = c.tick
 	l.rrpv = 0
 }
 
 // selectVictim picks the way to evict in a full set.
+//
+//impact:hotpath
 func (c *Cache) selectVictim(ways []line) int {
 	for i := range ways {
 		if ways[i].epoch != c.epoch {
@@ -253,6 +262,8 @@ func (c *Cache) selectVictim(ways []line) int {
 }
 
 // reconstruct rebuilds a line-aligned address from tag and set.
+//
+//impact:hotpath
 func (c *Cache) reconstruct(tag uint64, set int) uint64 {
 	return (tag<<c.setShift | uint64(set)) << c.lineBits
 }

@@ -50,6 +50,8 @@ func (b *Bank) BusyUntil() int64 { return b.busyUntil }
 
 // applyTimeout closes the row if it has sat untouched past the open-row
 // timeout, emulating the controller's timeout-based precharge.
+//
+//impact:hotpath
 func (b *Bank) applyTimeout(now int64) {
 	if b.openRow >= 0 && b.timing.RowTimeout > 0 && now-b.lastTouch > b.timing.RowTimeout {
 		b.openRow = -1
@@ -59,6 +61,8 @@ func (b *Bank) applyTimeout(now int64) {
 // start returns the cycle at which a new command can begin, accounting for
 // the bank being busy and for refresh windows; a refresh that happened
 // since the last touch precharges the open row.
+//
+//impact:hotpath
 func (b *Bank) start(now int64) int64 {
 	if b.busyUntil > now {
 		now = b.busyUntil
@@ -73,6 +77,8 @@ func (b *Bank) start(now int64) int64 {
 // activationPenalty accounts one activation against the RowHammer
 // mitigation budget (RFM/PRAC), returning the preventive-action stall when
 // the threshold is reached (Section 8.4).
+//
+//impact:hotpath
 func (b *Bank) activationPenalty() int64 {
 	if b.maint.MitigationThreshold <= 0 {
 		return 0
@@ -87,6 +93,8 @@ func (b *Bank) activationPenalty() int64 {
 
 // Access performs a read or write of the given row, returning the access
 // latency relative to now and the row-buffer outcome.
+//
+//impact:hotpath
 func (b *Bank) Access(now int64, row int64) AccessResult {
 	b.applyTimeout(now)
 	start := b.start(now)
@@ -121,6 +129,8 @@ func (b *Bank) Access(now int64, row int64) AccessResult {
 // Activate opens the given row without transferring data (used by sender
 // PEIs that only need to perturb the row buffer). Latency accounting matches
 // Access minus the column access and burst.
+//
+//impact:hotpath
 func (b *Bank) Activate(now int64, row int64) AccessResult {
 	b.applyTimeout(now)
 	start := b.start(now)
@@ -151,6 +161,8 @@ func (b *Bank) Activate(now int64, row int64) AccessResult {
 }
 
 // Precharge closes the bank's open row. It is idempotent.
+//
+//impact:hotpath
 func (b *Bank) Precharge(now int64) AccessResult {
 	b.applyTimeout(now)
 	start := b.start(now)

@@ -14,6 +14,10 @@ func atomicWrite(path string, data []byte) error { return fsio.AtomicWrite(path,
 // entries durable.
 func syncDir(dir string) error { return fsio.SyncDir(dir) }
 
+// ensureDir creates a directory chain and fsyncs the new entries into
+// their parents; see fsio.EnsureDir.
+func ensureDir(dir string) error { return fsio.EnsureDir(dir) }
+
 // encodeRecord frames a payload under the shared checksummed-header
 // discipline; see fsio.EncodeRecord.
 func encodeRecord(magic string, payload []byte) []byte { return fsio.EncodeRecord(magic, payload) }

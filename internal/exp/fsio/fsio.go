@@ -56,6 +56,48 @@ func SyncDir(dir string) error {
 	return d.Sync()
 }
 
+// EnsureDir creates dir (and any missing parents) and fsyncs every
+// directory entry the creation added, from the first pre-existing
+// ancestor down. A bare os.MkdirAll leaves the new entries buffered in
+// the parent directories: the process can go on to atomically write files
+// *inside* a directory that itself vanishes on power loss. Call sites
+// that build a data-dir layout must use this instead.
+func EnsureDir(dir string) error {
+	if fi, err := os.Stat(dir); err == nil {
+		if fi.IsDir() {
+			return nil
+		}
+		return &os.PathError{Op: "mkdir", Path: dir, Err: os.ErrExist}
+	}
+	// Find the closest ancestor that already exists: everything below it
+	// is about to be created and needs its parent entry synced.
+	root := dir
+	for {
+		parent := filepath.Dir(root)
+		if parent == root {
+			break
+		}
+		if _, err := os.Stat(parent); err == nil {
+			break
+		}
+		root = parent
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Sync the created chain bottom-up, then the pre-existing parent that
+	// gained the topmost new entry.
+	for d := dir; ; d = filepath.Dir(d) {
+		if err := SyncDir(d); err != nil {
+			return err
+		}
+		if d == root {
+			break
+		}
+	}
+	return SyncDir(filepath.Dir(root))
+}
+
 // EncodeRecord frames a payload under the shared checksummed-header
 // discipline: "<magic> <payload-bytes> <hex sha256>\n" followed by the
 // payload. The header lets a reader reject truncated, torn, or foreign

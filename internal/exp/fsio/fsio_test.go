@@ -3,8 +3,10 @@ package fsio
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -60,6 +62,88 @@ func TestRecordFraming(t *testing.T) {
 		buf := mutate(append([]byte(nil), rec...))
 		if _, ok := DecodeRecord("testmagic1", buf); ok {
 			t.Fatalf("damaged record accepted: %q", buf)
+		}
+	}
+}
+
+// TestAtomicWriteConcurrent races writers at one path: every write must
+// be race-clean and the survivor must be one complete version — the
+// first-write-wins store contract when identical runs land together.
+// Exercised under `make race`.
+func TestAtomicWriteConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	versions := make([][]byte, 8)
+	for i := range versions {
+		versions[i] = []byte(fmt.Sprintf("version-%d", i))
+	}
+	var wg sync.WaitGroup
+	for _, v := range versions {
+		wg.Add(1)
+		go func(v []byte) {
+			defer wg.Done()
+			if err := AtomicWrite(path, v); err != nil {
+				t.Errorf("AtomicWrite: %v", err)
+			}
+		}(v)
+	}
+	wg.Wait()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range versions {
+		if bytes.Equal(got, v) {
+			return
+		}
+	}
+	t.Fatalf("final contents %q are not any written version (torn write)", got)
+}
+
+// TestEnsureDir pins the synced-creation contract: deep chains appear,
+// repeats are no-ops, and a file in the way errors like os.Mkdir.
+func TestEnsureDir(t *testing.T) {
+	base := t.TempDir()
+	deep := filepath.Join(base, "a", "b", "c")
+	if err := EnsureDir(deep); err != nil {
+		t.Fatalf("EnsureDir: %v", err)
+	}
+	if fi, err := os.Stat(deep); err != nil || !fi.IsDir() {
+		t.Fatalf("Stat(%s) = %v, %v", deep, fi, err)
+	}
+	if err := EnsureDir(deep); err != nil {
+		t.Fatalf("EnsureDir (repeat): %v", err)
+	}
+	blocked := filepath.Join(base, "file")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureDir(blocked); !errors.Is(err, os.ErrExist) {
+		t.Fatalf("EnsureDir over a file = %v, want ErrExist", err)
+	}
+}
+
+// TestEnsureDirConcurrent mirrors the store's fan-out subdirectory
+// creation under parallel Puts: siblings racing over a shared new
+// ancestor must all succeed. Exercised under `make race`.
+func TestEnsureDirConcurrent(t *testing.T) {
+	base := t.TempDir()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := filepath.Join(base, "shared", fmt.Sprintf("leaf-%d", i))
+			if err := EnsureDir(d); err != nil {
+				t.Errorf("EnsureDir(%s): %v", d, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		d := filepath.Join(base, "shared", fmt.Sprintf("leaf-%d", i))
+		if fi, err := os.Stat(d); err != nil || !fi.IsDir() {
+			t.Errorf("missing %s: %v", d, err)
 		}
 	}
 }

@@ -410,7 +410,7 @@ func (js *Jobs) Submit(spec Spec) (*Job, error) {
 		}
 		js.seqReserved = target
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := detachedContext()
 	j := &Job{
 		ID:     formatJobID(js.seq),
 		seq:    js.seq,
@@ -440,6 +440,16 @@ func (js *Jobs) Submit(spec Spec) (*Job, error) {
 	js.met.Add(jobsSubmitted, 1)
 	go js.run(j)
 	return j, nil
+}
+
+// detachedContext is the registry's one sanctioned escape from request
+// contexts: a job outlives the HTTP request that submitted it, and
+// graceful shutdown must interrupt jobs explicitly (Quiesce) so in-flight
+// runs drain into the store instead of being torn mid-write — deriving
+// job contexts from the server's signal context would cancel them first.
+func detachedContext() (context.Context, context.CancelFunc) {
+	//lint:ignore ctxplumb job lifetime is registry-scoped by design; Quiesce interrupts explicitly
+	return context.WithCancel(context.Background())
 }
 
 // run executes one job to its settled state.
@@ -529,8 +539,10 @@ func (js *Jobs) Quiesce(ctx context.Context) error {
 	js.mu.Lock()
 	js.quiescing = true
 	live := make([]*Job, 0, len(js.jobs))
-	for _, j := range js.jobs {
-		live = append(live, j)
+	for _, id := range js.order {
+		if j, ok := js.jobs[id]; ok {
+			live = append(live, j)
+		}
 	}
 	js.mu.Unlock()
 	for _, j := range live {
@@ -580,7 +592,7 @@ func (js *Jobs) Recover() int {
 			continue
 		}
 		x, err := e.Spec.Expansion(MaxJobRuns)
-		ctx, cancel := context.WithCancel(context.Background())
+		ctx, cancel := detachedContext()
 		j := &Job{
 			ID:      e.ID,
 			seq:     e.Seq,

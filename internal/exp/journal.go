@@ -63,7 +63,7 @@ type Journal struct {
 
 // NewJournal opens (creating if needed) a job journal rooted at dir.
 func NewJournal(dir string) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := ensureDir(dir); err != nil {
 		return nil, fmt.Errorf("exp: journal: %v", err)
 	}
 	return &Journal{
@@ -276,6 +276,7 @@ func (jl *Journal) Recover() (seq int, entries []journalEntry) {
 	}
 
 	entries = make([]journalEntry, 0, len(specs))
+	//lint:ignore nodeterminism collection order is discarded by the Seq sort below
 	for _, e := range specs {
 		entries = append(entries, e)
 	}

@@ -154,7 +154,7 @@ func Open(root string, opts ...Option) (*Store, error) {
 		return nil, fmt.Errorf("pack: invalid options %+v", o)
 	}
 	dir := filepath.Join(root, "pack")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsio.EnsureDir(dir); err != nil {
 		return nil, fmt.Errorf("pack: %v", err)
 	}
 	s := &Store{

@@ -221,13 +221,14 @@ func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter 
 // host time; simulated time never leaves the engine.
 func (s *Server) instrument(route routeID, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := time.Now() //lint:ignore nodeterminism request latency is host-time observability; simulated results never see it
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		s.met.Add(int(route), slotRequests, 1)
 		if rec.status >= 400 {
 			s.met.Add(int(route), slotErrors, 1)
 		}
+		//lint:ignore nodeterminism request latency is host-time observability; simulated results never see it
 		s.met.Observe(int(route), time.Since(start).Nanoseconds())
 	}
 }
@@ -397,9 +398,7 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", api.ContentTypeNDJSON)
-	w.WriteHeader(http.StatusOK)
-	rc := http.NewResponseController(w)
+	rc := beginNDJSONStream(w)
 	for i := 0; i < job.Total(); i++ {
 		rr, ok := job.WaitRun(r.Context(), i)
 		if !ok {
@@ -415,9 +414,7 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return
 		}
-		w.Write(line)
-		w.Write([]byte("\n"))
-		rc.Flush()
+		writeStreamLine(w, rc, line)
 	}
 	if err := job.Err(); err != nil {
 		code := api.CodeRunFailed
@@ -428,10 +425,28 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 			code = api.CodeJobInterrupted
 		}
 		line, _ := json.Marshal(api.Envelope{Err: &api.Error{Code: code, Message: err.Error()}})
-		w.Write(line)
-		w.Write([]byte("\n"))
-		rc.Flush()
+		writeStreamLine(w, rc, line)
 	}
+}
+
+// beginNDJSONStream opens an NDJSON response. Together with
+// writeStreamLine it is the streaming counterpart of writeRawJSON: the
+// only emitters allowed to touch a ResponseWriter directly (enforced by
+// impact-lint's apienvelope), so every body the server produces goes
+// through an audited, shared path.
+func beginNDJSONStream(w http.ResponseWriter) *http.ResponseController {
+	w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	return http.NewResponseController(w)
+}
+
+// writeStreamLine emits one pre-marshaled NDJSON line and flushes it, so
+// clients watch long sweeps progress instead of holding a silent
+// connection.
+func writeStreamLine(w http.ResponseWriter, rc *http.ResponseController, line []byte) {
+	w.Write(line)
+	w.Write([]byte("\n"))
+	rc.Flush()
 }
 
 // handleScenarios lists the registry.

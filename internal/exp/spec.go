@@ -143,9 +143,16 @@ func (s Spec) Expand() ([]Run, error) {
 		return nil, err
 	}
 
+	// Sort the grid fields before validating them, so which error a bad
+	// spec gets back is as deterministic as the expansion itself.
 	paths := make([]string, 0, len(s.Grid))
+	for path := range s.Grid {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
 	total := 1
-	for path, vals := range s.Grid {
+	for _, path := range paths {
+		vals := s.Grid[path]
 		if len(vals) == 0 {
 			return nil, fmt.Errorf(`exp: grid field %q has no values`, path)
 		}
@@ -156,9 +163,7 @@ func (s Spec) Expand() ([]Run, error) {
 			return nil, fmt.Errorf("%w: grid expands to more than %d runs", ErrGridTooLarge, MaxRuns)
 		}
 		total *= len(vals)
-		paths = append(paths, path)
 	}
-	sort.Strings(paths)
 
 	runs := make([]Run, 0, total)
 	for idx := 0; idx < total; idx++ {
@@ -397,6 +402,7 @@ func decodeValue(data []byte) (any, error) {
 // deepMerge overlays src onto dst: nested objects merge recursively,
 // everything else (including arrays) replaces wholesale.
 func deepMerge(dst, src map[string]any) {
+	//lint:ignore nodeterminism writes land on disjoint keys, so merge order commutes
 	for k, sv := range src {
 		if sm, ok := sv.(map[string]any); ok {
 			if dm, ok := dst[k].(map[string]any); ok {

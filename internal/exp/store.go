@@ -53,7 +53,7 @@ type Store struct {
 
 // NewStore opens (creating if needed) a store rooted at dir.
 func NewStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := ensureDir(dir); err != nil {
 		return nil, fmt.Errorf("exp: store: %v", err)
 	}
 	return &Store{
@@ -149,7 +149,7 @@ func (s *Store) write(path string, blob json.RawMessage) error {
 	if err := failpoint("store.write"); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := ensureDir(filepath.Dir(path)); err != nil {
 		return err
 	}
 	return atomicWrite(path, encodeRecord(storeMagic, blob))

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// APIEnvelope enforces the PR 5 wire contract: every HTTP response body
+// the experiment server emits is either pre-marshaled JSON written by
+// writeRawJSON (newline-terminated, shared content type, X-Request-ID) or
+// a structured api.Envelope error written by writeError. A naked
+// http.Error ships text/plain that no SDK error path can decode, and an
+// ad-hoc fmt.Fprintf to a ResponseWriter is how the pre-PR 4 figure
+// handler produced bodies that weren't byte-identical to the cached
+// sweep documents. Inside repro/internal/exp the analyzer forbids:
+//
+//   - http.Error;
+//   - the fmt.Fprint family writing to an http.ResponseWriter;
+//   - json.NewEncoder(w).Encode on a ResponseWriter (marshal first, then
+//     writeRawJSON, so hashes and cache comparisons see the same bytes);
+//   - direct w.Write / w.WriteHeader on a ResponseWriter outside the two
+//     blessed emitters (writeRawJSON, writeError) and the
+//     instrumentation middleware's statusRecorder.
+var APIEnvelope = &Analyzer{
+	Name: "apienvelope",
+	Doc:  "HTTP responses go through writeRawJSON / the structured api.Envelope error path",
+	Match: func(importPath string) bool {
+		return inPackages(importPath, ModulePath+"/internal/exp")
+	},
+	Run: runAPIEnvelope,
+}
+
+// envelopeEmitters are the functions allowed to touch a ResponseWriter
+// directly: the blessed document and stream emitters (the middleware's
+// statusRecorder shim is exempted by receiver type instead).
+var envelopeEmitters = map[string]bool{
+	"writeRawJSON":      true,
+	"writeError":        true,
+	"beginNDJSONStream": true,
+	"writeStreamLine":   true,
+}
+
+var fprintFamily = map[string]bool{"Fprintf": true, "Fprint": true, "Fprintln": true}
+
+func runAPIEnvelope(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := envelopeEmitters[fd.Name.Name] || receiverTypeName(fd) == "statusRecorder"
+			checkEnvelopeFunc(pass, fd, exempt)
+		}
+	}
+	return nil
+}
+
+func checkEnvelopeFunc(pass *Pass, fd *ast.FuncDecl, exempt bool) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := pkgFuncCall(info, call); ok {
+			switch {
+			case pkg == "net/http" && name == "Error":
+				pass.Reportf(call.Pos(), "http.Error emits unstructured text/plain: use writeError with an api.ErrorCode")
+			case pkg == "fmt" && fprintFamily[name] && len(call.Args) > 0 &&
+				implementsResponseWriter(pass.Pkg, info.TypeOf(call.Args[0])):
+				pass.Reportf(call.Pos(), "fmt.%s to a ResponseWriter bypasses the envelope contract: marshal and use writeRawJSON", name)
+			}
+			return true
+		}
+		// Method calls on a ResponseWriter: Encode-on-writer and, outside
+		// the blessed emitters, Write/WriteHeader.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Encode":
+			if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok {
+				if pkg, name, ok := pkgFuncCall(info, inner); ok && pkg == "encoding/json" && name == "NewEncoder" &&
+					len(inner.Args) == 1 && implementsResponseWriter(pass.Pkg, info.TypeOf(inner.Args[0])) {
+					pass.Reportf(call.Pos(), "json.NewEncoder(w).Encode streams unframed JSON: marshal first and use writeRawJSON so cached bytes stay identical")
+				}
+			}
+		case "Write", "WriteHeader":
+			if !exempt && implementsResponseWriter(pass.Pkg, info.TypeOf(sel.X)) {
+				pass.Reportf(call.Pos(), "direct w.%s outside writeRawJSON/writeError: responses must go through the shared emitters", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}

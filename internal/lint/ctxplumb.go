@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPlumb enforces the PR 5 context contract: cancellation flows from
+// the caller — an HTTP request, a CLI signal handler, a test — down
+// through Engine, Jobs, and Server, and is never manufactured mid-stack.
+// A context.Background() below cmd/ is how a DELETE /v1/jobs/{id} stops
+// reaching the worker pool, and a dropped ctx parameter is how a sweep
+// keeps simulating after its client hung up. Outside cmd/ (package mains
+// own the root context) and tests, the analyzer forbids:
+//
+//   - calls to context.Background() and context.TODO();
+//   - passing a nil literal where a context.Context is expected;
+//   - declaring a context.Context parameter and never using it (name it
+//     _ if an interface forces the signature on you);
+//   - a context.Context parameter anywhere but first in the parameter
+//     list, the position the rest of the codebase and the SDK assume.
+var CtxPlumb = &Analyzer{
+	Name: "ctxplumb",
+	Doc:  "thread caller contexts; never manufacture or drop one mid-stack",
+	Match: func(importPath string) bool {
+		return underPath(importPath, ModulePath) && !underPath(importPath, ModulePath+"/cmd")
+	},
+	Run: runCtxPlumb,
+}
+
+func runCtxPlumb(pass *Pass) error {
+	info := pass.TypesInfo
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgFuncCall(info, n); ok && pkg == "context" && (name == "Background" || name == "TODO") {
+				pass.Reportf(n.Pos(), "context.%s below cmd/: thread the caller's context (or suppress with a reason if this lifetime is genuinely detached)", name)
+			}
+			checkNilContextArg(pass, n)
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				checkCtxParams(pass, n.Type, n.Body, n.Name.Name)
+			}
+		case *ast.FuncLit:
+			checkCtxParams(pass, n.Type, n.Body, "func literal")
+		}
+	})
+	return nil
+}
+
+// checkNilContextArg flags passing an untyped nil where the callee wants
+// a context.Context.
+func checkNilContextArg(pass *Pass, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if !isContextType(sig.Params().At(i).Type()) {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			pass.Reportf(arg.Pos(), "nil context: pass the caller's context")
+		}
+	}
+}
+
+// checkCtxParams enforces the position and the use of context parameters.
+func checkCtxParams(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, name string) {
+	if ft.Params == nil {
+		return
+	}
+	paramIndex := 0
+	for _, field := range ft.Params.List {
+		isCtx := isContextType(pass.TypesInfo.TypeOf(field.Type))
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtx && paramIndex != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		if isCtx {
+			for _, ident := range field.Names {
+				if ident.Name == "_" {
+					continue
+				}
+				if !identUsedIn(pass.TypesInfo, body, ident) {
+					pass.Reportf(ident.Pos(), "%s accepts ctx but never uses it: thread it into the calls below (or name it _ if the signature is forced)", name)
+				}
+			}
+		}
+		paramIndex += n
+	}
+}
+
+// identUsedIn reports whether the object defined by def is referenced
+// anywhere in body.
+func identUsedIn(info *types.Info, body *ast.BlockStmt, def *ast.Ident) bool {
+	obj := info.Defs[def]
+	if obj == nil {
+		return true // be lenient when resolution failed
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if ident, ok := n.(*ast.Ident); ok && info.Uses[ident] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc guards PR 1's hot-path win (cache hit 18.8 → 4.4 ns/op,
+// zero allocations): any function annotated with a //impact:hotpath doc
+// comment — the cache/DRAM/memctrl/TLB/PIM access paths, the stats
+// counter slots, metrics.Add/Observe — must stay free of allocation and
+// hashing. Within an annotated function body the analyzer forbids:
+//
+//   - the allocating builtins make, new, and append;
+//   - function literals (closure capture), defer, and go;
+//   - composite literals of slice or map type, and &T{...} — plain
+//     by-value struct literals (line{...}, AccessResult{...}) compile to
+//     stores and stay allowed;
+//   - string concatenation that survives to run time, and the allocating
+//     conversions string <-> []byte/[]rune;
+//   - map index expressions — the exact regression that string-keyed
+//     stats.Counters access was (a hash per counter bump) before the
+//     fixed-slot redesign;
+//   - boxing a concrete non-pointer value into an interface, whether at a
+//     call (including variadic ...any, so every fmt helper is caught), a
+//     return, or an assignment.
+//
+// The check is lexical: it covers the annotated body, not its callees.
+// Annotate the full chain you need cold-free, and the suite's
+// bench-smoke allocation pins catch what annotation discipline misses.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions marked //impact:hotpath must not allocate, hash, or box",
+	Run:  runHotPathAlloc,
+}
+
+// HotPathDirective is the doc-comment marker hotpathalloc keys on.
+const HotPathDirective = "//impact:hotpath"
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcHasDirective(fd, HotPathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var sig *types.Signature
+	if obj := info.Defs[fd.Name]; obj != nil {
+		sig, _ = obj.Type().(*types.Signature)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path: func literals capture and may allocate")
+			return false // its body is the closure's problem, reported once
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path")
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in hot path allocates a stack")
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal in hot path allocates", kindWord(t))
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, lit := ast.Unparen(n.X).(*ast.CompositeLit); lit {
+					pass.Reportf(n.Pos(), "&composite literal in hot path escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) && info.Types[n].Value == nil {
+				pass.Reportf(n.Pos(), "string concatenation in hot path allocates")
+			}
+		case *ast.IndexExpr:
+			if isMap(info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "map access in hot path hashes the key; use a fixed integer-indexed slot (see stats.Counters)")
+			}
+		case *ast.ReturnStmt:
+			checkHotReturn(pass, sig, n)
+		case *ast.AssignStmt:
+			checkHotAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins, allocating conversions, and
+// boxing of concrete values into interface parameters.
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	switch builtinName(info, call) {
+	case "make", "new", "append":
+		pass.Reportf(call.Pos(), "%s in hot path allocates", builtinName(info, call))
+		return
+	case "":
+	default:
+		return // len, cap, copy, delete, min, max: fine
+	}
+	if dst, ok := isConversion(info, call); ok {
+		if allocConversion(dst, info.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "conversion to %s in hot path copies and allocates", types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+		}
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing an existing slice through, no boxing here
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		reportBoxing(pass, arg, param, "argument")
+	}
+}
+
+func checkHotReturn(pass *Pass, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		reportBoxing(pass, res, sig.Results().At(i).Type(), "return value")
+	}
+}
+
+func checkHotAssign(pass *Pass, a *ast.AssignStmt) {
+	if a.Tok != token.ASSIGN || len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i := range a.Lhs {
+		reportBoxing(pass, a.Rhs[i], pass.TypesInfo.TypeOf(a.Lhs[i]), "assignment")
+	}
+}
+
+// reportBoxing flags converting a concrete non-pointer value into an
+// interface: the runtime must heap-allocate the value's box. Pointers,
+// functions, channels, maps, and existing interfaces fit in the interface
+// word directly; nil and constants are free.
+func reportBoxing(pass *Pass, expr ast.Expr, to types.Type, site string) {
+	if to == nil || !isInterface(to) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return
+	}
+	from := tv.Type
+	if isInterface(from) {
+		return
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return
+	}
+	pass.Reportf(expr.Pos(), "boxing %s into %s at %s allocates in hot path",
+		types.TypeString(from, types.RelativeTo(pass.Pkg)),
+		types.TypeString(to, types.RelativeTo(pass.Pkg)), site)
+}
+
+// allocConversion reports whether converting from -> dst copies memory:
+// string <-> []byte / []rune in either direction.
+func allocConversion(dst, from types.Type) bool {
+	if dst == nil || from == nil {
+		return false
+	}
+	return (isStringType(dst) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(dst) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func kindWord(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed "//lint:ignore <checks> <reason>"
+// comment. It suppresses the named analyzers (comma-separated) on its own
+// source line and on the line directly below it, mirroring the
+// staticcheck directive this project's contributors already know. The
+// reason is mandatory: a suppression is an audited exception, and the
+// reviewer deserves the why next to the what.
+type ignoreDirective struct {
+	checks []string
+	reason string
+	line   int
+	file   string
+	bad    string // non-empty when the directive is malformed
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores collects every ignore directive in the package, keyed by
+// file and line.
+func parseIgnores(pkg *Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := ignoreDirective{line: pos.Line, file: pos.Filename}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not this directive
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) < 2:
+					d.bad = "malformed //lint:ignore directive: want \"//lint:ignore <check>[,<check>] <reason>\""
+				default:
+					d.checks = strings.Split(fields[0], ",")
+					d.reason = strings.Join(fields[1:], " ")
+					for _, chk := range d.checks {
+						if Lookup(chk) == nil {
+							d.bad = "//lint:ignore names unknown check \"" + chk + "\""
+						}
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters diagnostics suppressed by a well-formed directive
+// and appends a diagnostic for every malformed one.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	directives := parseIgnores(pkg)
+	if len(directives) == 0 {
+		return diags
+	}
+	suppressed := func(d Diagnostic) bool {
+		for _, dir := range directives {
+			if dir.bad != "" || dir.file != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line != dir.line && d.Pos.Line != dir.line+1 {
+				continue
+			}
+			for _, chk := range dir.checks {
+				if chk == d.Analyzer {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range directives {
+		if dir.bad != "" {
+			out = append(out, Diagnostic{
+				Analyzer: "lintdirective",
+				Pos:      token.Position{Filename: dir.file, Line: dir.line},
+				Message:  dir.bad,
+			})
+		}
+	}
+	return out
+}

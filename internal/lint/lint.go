@@ -1,0 +1,151 @@
+// Package lint is impact-lint: a suite of project-specific static
+// analyzers that mechanically enforce the invariants this repository's
+// correctness rests on — deterministic simulation output (results are
+// content-addressed by the SHA-256 of canonical JSON), fsynced atomic
+// durable writes (crash safety), an allocation-free hot access path, and
+// context plumbing through the serving layer.
+//
+// The package deliberately reimplements the core of
+// golang.org/x/tools/go/analysis on the standard library alone (go/ast +
+// go/types + `go list`): the module is dependency-free by design, and the
+// build environment is network-isolated, so the x/tools framework is not
+// available. The shapes match the real framework closely — an Analyzer
+// with a Run(*Pass) hook reporting Diagnostics, analysistest-style
+// testdata packages with `// want` expectations (see linttest) — so a
+// future migration to x/tools is a mechanical search-and-replace, not a
+// rewrite.
+//
+// See docs/lint.md for the rule catalog and the motivating incident
+// behind each analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run inspects a single package
+// and reports violations through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Match reports whether the analyzer applies to a package import
+	// path. A nil Match applies everywhere. Tests bypass Match and run
+	// the analyzer directly on testdata packages.
+	Match func(importPath string) bool
+	// Run performs the check. It may assume Pass.TypesInfo is fully
+	// populated for the package's non-test files.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package into an Analyzer.Run.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	ImportPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Preorder walks every file in the pass in depth-first preorder, calling
+// fn for each node. It is the stdlib stand-in for inspector.Preorder.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full impact-lint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		AtomicWrite,
+		HotPathAlloc,
+		CtxPlumb,
+		APIEnvelope,
+	}
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunPackage applies every applicable analyzer to one loaded package and
+// returns the surviving diagnostics: Match-scoped, //lint:ignore-filtered,
+// and sorted by position. Malformed ignore directives are themselves
+// diagnostics, so a suppression can never rot silently.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			ImportPath: pkg.ImportPath,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	diags = applyIgnores(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

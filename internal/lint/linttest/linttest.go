@@ -1,0 +1,109 @@
+// Package linttest runs impact-lint analyzers against fixture packages
+// and checks their diagnostics against inline expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives under internal/lint/testdata/src/<analyzer>/ and is an
+// ordinary stdlib-only Go package. A line expected to be flagged carries
+// a trailing expectation comment:
+//
+//	os.WriteFile(path, data, 0o644) // want `os\.WriteFile`
+//
+// Each backquoted string is a regexp that must match the message of one
+// diagnostic reported on that line; conversely every diagnostic must be
+// claimed by an expectation, so fixtures assert silence (clean files) as
+// strictly as they assert findings.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the backquoted regexps of one `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one `// want` regexp awaiting a diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory dir (relative to the caller's testdata/src),
+// masquerading as importPath, runs the single analyzer through the full
+// RunPackage path (Match scoping, ignore directives, sorting), and fails
+// the test on any mismatch between diagnostics and `// want` expectations.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// parseWants collects every expectation in the fixture package.
+func parseWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				groups := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(groups) == 0 {
+					t.Fatalf("%s: want comment without a backquoted regexp", pos)
+				}
+				for _, g := range groups {
+					re, err := regexp.Compile(g[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp: %v", pos, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation covering d, reporting
+// whether one existed.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && samePos(w, d.Pos) && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func samePos(w *expectation, pos token.Position) bool {
+	return w.file == pos.Filename && w.line == pos.Line
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one fully type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// Load type-checks the module packages matched by patterns (run from dir)
+// and returns them ready for RunPackage, in deterministic import-path
+// order. Only non-test Go files are analyzed: the invariants guard
+// production code, and tests legitimately use wall clocks, raw temp
+// files, and ad-hoc contexts.
+//
+// The loader shells out to `go list -deps -json`, which emits packages in
+// dependency-first order, then type-checks each module package from
+// source. Imports resolve through the packages already checked; standard
+// library imports fall back to the stdlib source importer. CGO is
+// disabled so the file sets `go list` reports match what a pure-Go type
+// check can digest.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	loaded := make(map[string]*types.Package)
+	imp := &chainImporter{
+		loaded: loaded,
+		std:    newStdImporter(fset),
+	}
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		loaded[lp.ImportPath] = pkg.Types
+		if !lp.DepOnly {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// goList runs `go list -deps -json` and decodes the package stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Dir,Standard,DepOnly,GoFiles",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v: %s", err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// checkPackage parses and type-checks one module package.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadDir parses and type-checks the single directory dir as the package
+// importPath, resolving imports from the standard library alone. It backs
+// the linttest harness: fixture packages masquerade as the module package
+// an analyzer's Match scopes to, while deliberately importing nothing
+// from the module itself.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !e.IsDir() {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	lp := listedPackage{ImportPath: importPath, Dir: dir, GoFiles: names}
+	return checkPackage(fset, newStdImporter(fset), lp)
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers read
+// allocated. Shared with linttest so testdata packages are checked with
+// identical fidelity.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// chainImporter resolves module packages from the loader's own checked
+// set and everything else (the standard library) from source.
+type chainImporter struct {
+	loaded map[string]*types.Package
+	std    types.ImporterFrom
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.loaded[path]; ok {
+		return p, nil
+	}
+	return c.std.ImportFrom(path, srcDir, mode)
+}
+
+var stdImporterOnce sync.Once
+
+// newStdImporter returns the stdlib source importer. CGO is switched off
+// in the global build context first (once, process-wide) so packages like
+// net type-check through their pure-Go fallbacks.
+func newStdImporter(fset *token.FileSet) types.ImporterFrom {
+	stdImporterOnce.Do(func() { build.Default.CgoEnabled = false })
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}
+
+// ModulePath reports the import path prefix of this module ("repro").
+// Analyzer Match functions are written against it so the suite keeps
+// working if the module is ever renamed.
+const ModulePath = "repro"
+
+// inPackages reports whether importPath is one of the given package
+// paths (exact match, not prefix).
+func inPackages(importPath string, paths ...string) bool {
+	for _, p := range paths {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// underPath reports whether importPath equals prefix or is nested
+// beneath it.
+func underPath(importPath, prefix string) bool {
+	return importPath == prefix || strings.HasPrefix(importPath, prefix+"/")
+}

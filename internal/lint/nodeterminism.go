@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoDeterminism enforces the content-addressing invariant: every run
+// result is keyed by the SHA-256 of its canonical JSON, so any
+// nondeterminism inside the simulator, the experiment engine's
+// canonicalization, or the figure pipelines silently poisons the durable
+// cache with irreproducible entries. The analyzer forbids, inside
+// repro/internal/{sim,figures,exp}:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — simulated
+//     time is the only clock those packages may observe;
+//   - math/rand and math/rand/v2 — stats.Rng is the seeded, deterministic
+//     generator every simulated component must draw from;
+//   - map iteration whose body has order-dependent effects (appending
+//     values, writing to writers/hashes, calling out). The commutative
+//     idioms — collect-keys-then-sort, numeric accumulation, map-to-map
+//     copies, deletes — are recognized and allowed;
+//   - goroutines that mutate free variables by append, accumulation, or
+//     plain assignment: completion order would decide the final contents.
+//     Writes to disjoint index expressions (results[i] = ...) are the
+//     sanctioned pattern and stay allowed.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid wall clocks, math/rand, and order-dependent iteration in content-addressed simulation paths",
+	Match: func(importPath string) bool {
+		return inPackages(importPath,
+			ModulePath+"/internal/sim",
+			ModulePath+"/internal/figures",
+			ModulePath+"/internal/exp",
+		)
+	},
+	Run: runNoDeterminism,
+}
+
+var forbiddenTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNoDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch impPath(imp) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "import of %s: simulated components must draw randomness from the seeded stats.Rng", impPath(imp))
+			}
+		}
+	}
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgFuncCall(pass.TypesInfo, n); ok && pkg == "time" && forbiddenTimeFuncs[name] {
+				pass.Reportf(n.Pos(), "wall-clock read time.%s: results are content-addressed, so only simulated clocks may feed them", name)
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		case *ast.GoStmt:
+			checkGoroutineWrites(pass, n)
+		}
+	})
+	return nil
+}
+
+func impPath(spec *ast.ImportSpec) string {
+	if len(spec.Path.Value) < 2 {
+		return ""
+	}
+	return spec.Path.Value[1 : len(spec.Path.Value)-1]
+}
+
+// checkMapRange flags `for ... := range m` over a map unless every
+// statement in the body is an order-independent (commutative) effect.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	if !isMap(pass.TypesInfo.TypeOf(rng.X)) {
+		return
+	}
+	keyIdent, _ := rng.Key.(*ast.Ident)
+	if !mapRangeBodyCommutes(pass.TypesInfo, rng.Body, keyIdent) {
+		pass.Reportf(rng.Pos(), "map iteration with order-dependent effects: collect and sort the keys first (map order would leak into content-addressed output)")
+	}
+}
+
+// mapRangeBodyCommutes reports whether every statement is one of the
+// allowed commutative forms.
+func mapRangeBodyCommutes(info *types.Info, body *ast.BlockStmt, key *ast.Ident) bool {
+	for _, s := range body.List {
+		if !commutativeStmt(info, s, key) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(info *types.Info, s ast.Stmt, key *ast.Ident) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return commutativeAssign(info, s, key)
+	case *ast.IncDecStmt:
+		return true // n++ / n-- accumulation
+	case *ast.ExprStmt:
+		// delete(m, k) is the only order-independent bare call.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return builtinName(info, call) == "delete"
+		}
+		return false
+	case *ast.IfStmt:
+		// Conditions only read; each branch must itself commute.
+		if !mapRangeBodyCommutes(info, s.Body, key) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return mapRangeBodyCommutes(info, e, key)
+		case *ast.IfStmt:
+			return commutativeStmt(info, e, key)
+		}
+		return false
+	case *ast.BlockStmt:
+		return mapRangeBodyCommutes(info, s, key)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// commutativeAssign allows the order-independent assignment forms:
+// numeric op-accumulation (+=, -=, |=, &=, ^=), map-index stores
+// (map-to-map copy), and the collect-keys idiom `s = append(s, k)` where
+// k is exactly the range key.
+func commutativeAssign(info *types.Info, a *ast.AssignStmt, key *ast.Ident) bool {
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	case token.DEFINE:
+		// Defines create per-iteration locals; order-dependent uses are
+		// caught where they happen. The one sharp edge is
+		// `x := append(outer, v)`, which can write into outer's backing
+		// array, so defines may not contain appends of non-key values.
+		for _, rhs := range a.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && builtinName(info, call) == "append" {
+				return appendsKeyOnly(info, call, key)
+			}
+		}
+		return true
+	case token.ASSIGN:
+		if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			return false
+		}
+		// Map-index store: out[k2] = v — insertion order is irrelevant.
+		if idx, ok := a.Lhs[0].(*ast.IndexExpr); ok && isMap(info.TypeOf(idx.X)) {
+			return true
+		}
+		// s = append(s, key): collecting keys for a later sort.
+		call, ok := a.Rhs[0].(*ast.CallExpr)
+		if !ok || builtinName(info, call) != "append" {
+			return false
+		}
+		return appendsKeyOnly(info, call, key)
+	}
+	return false
+}
+
+// appendsKeyOnly reports whether call is append(s, k) appending exactly
+// the range key and nothing else.
+func appendsKeyOnly(info *types.Info, call *ast.CallExpr, key *ast.Ident) bool {
+	if len(call.Args) != 2 || key == nil {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok || info.Uses[arg] == nil {
+		return false
+	}
+	return info.Uses[arg] == info.Defs[key] || info.Uses[arg] == info.Uses[key]
+}
+
+// checkGoroutineWrites flags goroutine bodies that race completion order
+// into shared state: append to a free slice, op-accumulation on a free
+// variable, or plain assignment to a free variable.
+func checkGoroutineWrites(pass *Pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	lo, hi := int(lit.Pos()), int(lit.End())
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			ident, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue // index/field stores are the sanctioned pattern
+			}
+			obj := freeObject(pass.TypesInfo, ident, lo, hi)
+			if obj == nil {
+				continue
+			}
+			switch a.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+				token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+				pass.Reportf(a.Pos(), "goroutine accumulates into captured %q: completion order decides the result", obj.Name())
+			case token.ASSIGN:
+				if i < len(a.Rhs) && isSelfAppend(pass.TypesInfo, a.Rhs[i], obj) {
+					pass.Reportf(a.Pos(), "goroutine appends to captured %q: element order depends on scheduling; write to disjoint indices instead", obj.Name())
+				} else {
+					pass.Reportf(a.Pos(), "goroutine assigns captured %q: last-writer-wins depends on scheduling", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSelfAppend reports whether rhs is append(obj, ...).
+func isSelfAppend(info *types.Info, rhs ast.Expr, obj *types.Var) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || builtinName(info, call) != "append" || len(call.Args) == 0 {
+		return false
+	}
+	ident, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.Uses[ident] == obj
+}

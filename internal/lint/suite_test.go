@@ -1,0 +1,109 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer runs against its fixture package, which seeds every
+// violation class the analyzer knows plus the idioms it must leave alone.
+
+func TestNoDeterminism(t *testing.T) {
+	linttest.Run(t, lint.NoDeterminism, "nodeterminism", lint.ModulePath+"/internal/sim")
+}
+
+func TestAtomicWrite(t *testing.T) {
+	linttest.Run(t, lint.AtomicWrite, "atomicwrite", lint.ModulePath+"/internal/exp")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "hotpathalloc", lint.ModulePath+"/internal/sim")
+}
+
+func TestCtxPlumb(t *testing.T) {
+	linttest.Run(t, lint.CtxPlumb, "ctxplumb", lint.ModulePath+"/internal/exp")
+}
+
+func TestAPIEnvelope(t *testing.T) {
+	linttest.Run(t, lint.APIEnvelope, "apienvelope", lint.ModulePath+"/internal/exp")
+}
+
+// TestMatchScoping loads a violation-riddled fixture under an import path
+// the analyzer does not cover: Match must keep it silent.
+func TestMatchScoping(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/nodeterminism", lint.ModulePath+"/internal/figures/render")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{lint.NoDeterminism})
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, first: %s", len(diags), diags[0])
+	}
+}
+
+// TestIgnoreDirectives checks well-formed suppression end to end: on-line
+// and next-line directives silence the named analyzer, while directives
+// for other analyzers or out of range do not.
+func TestIgnoreDirectives(t *testing.T) {
+	linttest.Run(t, lint.NoDeterminism, "ignore", lint.ModulePath+"/internal/sim")
+}
+
+// TestMalformedDirectives checks that a directive missing its reason or
+// naming an unknown check suppresses nothing and is itself a finding.
+func TestMalformedDirectives(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/lintdirective", lint.ModulePath+"/internal/sim")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{lint.NoDeterminism})
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	if counts["nodeterminism"] != 2 {
+		t.Errorf("want both time.Now sites flagged despite the broken directives, got %d", counts["nodeterminism"])
+	}
+	if counts["lintdirective"] != 2 {
+		t.Errorf("want 2 lintdirective findings, got %d", counts["lintdirective"])
+	}
+	var sawMalformed, sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer != "lintdirective" {
+			continue
+		}
+		if strings.Contains(d.Message, "malformed") {
+			sawMalformed = true
+		}
+		if strings.Contains(d.Message, `unknown check "nosuchcheck"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawMalformed || !sawUnknown {
+		t.Errorf("missing lintdirective detail (malformed=%v unknown=%v): %v", sawMalformed, sawUnknown, diags)
+	}
+}
+
+// TestLookup pins the suite roster: docs, -only flags, and ignore
+// directives all resolve analyzers by these names.
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"nodeterminism", "atomicwrite", "hotpathalloc", "ctxplumb", "apienvelope"} {
+		if lint.Lookup(name) == nil {
+			t.Errorf("Lookup(%q) = nil; the suite lost an analyzer", name)
+		}
+	}
+	if lint.Lookup("nosuchcheck") != nil {
+		t.Error(`Lookup("nosuchcheck") should be nil`)
+	}
+	if got := len(lint.Analyzers()); got < 5 {
+		t.Errorf("suite has %d analyzers, want at least 5", got)
+	}
+}

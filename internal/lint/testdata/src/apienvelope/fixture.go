@@ -1,0 +1,47 @@
+// Package fixture exercises the apienvelope analyzer: it masquerades as
+// repro/internal/exp, where every HTTP response body flows through the
+// blessed emitters.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error emits unstructured text/plain`
+	fmt.Fprintf(w, "count=%d\n", 1)                       // want `fmt\.Fprintf to a ResponseWriter bypasses the envelope contract`
+	fmt.Fprintln(w, "done")                               // want `fmt\.Fprintln to a ResponseWriter bypasses the envelope contract`
+	json.NewEncoder(w).Encode(map[string]int{"a": 1})     // want `json\.NewEncoder\(w\)\.Encode streams unframed JSON`
+	w.WriteHeader(http.StatusOK)                          // want `direct w\.WriteHeader outside writeRawJSON/writeError`
+	w.Write([]byte("{}\n"))                               // want `direct w\.Write outside writeRawJSON/writeError`
+}
+
+// The blessed emitters may touch the writer directly.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, body []byte) {
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// So may the instrumentation middleware's recorder shim.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Printing to anything that is not a ResponseWriter is out of scope.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	fmt.Printf("request: %s\n", r.URL.Path)
+	writeRawJSON(w, http.StatusOK, []byte("{}\n"))
+}

@@ -1,0 +1,47 @@
+// Package fixture exercises the atomicwrite analyzer: it masquerades as
+// repro/internal/exp, where every durable write must go through the fsio
+// helpers.
+package fixture
+
+import "os"
+
+func rawWrites(path string, data []byte) error {
+	if err := os.MkdirAll(path, 0o755); err != nil { // want `raw os\.MkdirAll on a durable path: use fsio\.EnsureDir`
+		return err
+	}
+	if err := os.Mkdir(path, 0o755); err != nil { // want `raw os\.Mkdir on a durable path: use fsio\.EnsureDir`
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `raw os\.WriteFile on a durable path: use fsio\.AtomicWrite`
+		return err
+	}
+	f, err := os.Create(path) // want `raw os\.Create on a durable path: use fsio\.AtomicWrite`
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(path, path+".bak") // want `raw os\.Rename on a durable path: use fsio\.AtomicWrite`
+}
+
+// os.OpenFile stays legal: the pack engine's append path owns a reviewed
+// open-append-fsync discipline that AtomicWrite cannot express.
+func appendDiscipline(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Reads were never the problem.
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,42 @@
+// Package fixture exercises the ctxplumb analyzer: it masquerades as a
+// package below cmd/, where contexts are threaded, never manufactured.
+package fixture
+
+import "context"
+
+func lookup(ctx context.Context, key string) string {
+	select {
+	case <-ctx.Done():
+		return ""
+	default:
+		return key
+	}
+}
+
+func manufactured() context.Context {
+	return context.Background() // want `context\.Background below cmd/`
+}
+
+func stubbed() context.Context {
+	return context.TODO() // want `context\.TODO below cmd/`
+}
+
+func passesNil() string {
+	return lookup(nil, "k") // want `nil context: pass the caller's context`
+}
+
+func dropsCtx(ctx context.Context, key string) string { // want `dropsCtx accepts ctx but never uses it`
+	return key
+}
+
+func misplaced(key string, ctx context.Context) string { // want `context\.Context must be the first parameter`
+	return lookup(ctx, key)
+}
+
+func forced(_ context.Context, key string) string {
+	return key
+}
+
+func threaded(ctx context.Context, key string) string {
+	return lookup(ctx, key)
+}

@@ -1,0 +1,68 @@
+// Package fixture exercises the hotpathalloc analyzer: only functions
+// carrying the //impact:hotpath doc directive are checked, and within
+// them every allocation, hash, and box is a finding.
+package fixture
+
+import "fmt"
+
+type point struct{ x, y int64 }
+
+type sink interface{ accept() }
+
+type impl struct{ n int64 }
+
+func (impl) accept() {}
+
+func consume(s sink) { s.accept() }
+
+func release() {}
+
+var global int64
+
+//impact:hotpath
+func hotViolations(vals []int64, m map[string]int64, key, s string, v int64) {
+	buf := make([]byte, 8) // want `make in hot path allocates`
+	_ = buf
+	p := new(point) // want `new in hot path allocates`
+	_ = p
+	vals = append(vals, v) // want `append in hot path allocates`
+	f := func() {}         // want `closure in hot path`
+	f()
+	defer release()     // want `defer in hot path`
+	go release()        // want `goroutine launch in hot path allocates a stack`
+	sl := []int64{1, 2} // want `slice literal in hot path allocates`
+	_ = sl
+	mm := map[string]int64{} // want `map literal in hot path allocates`
+	_ = mm
+	pp := &point{} // want `&composite literal in hot path escapes to the heap`
+	_ = pp
+	joined := s + key // want `string concatenation in hot path allocates`
+	_ = joined
+	global = m[key] // want `map access in hot path hashes the key`
+	b := []byte(s)  // want `conversion to \[\]byte in hot path copies and allocates`
+	_ = b
+	consume(impl{n: v}) // want `boxing impl into sink at argument`
+	fmt.Println(v)      // want `boxing int64 into any at argument`
+}
+
+//impact:hotpath
+func hotReturnBoxes(v int64) sink {
+	return impl{n: v} // want `boxing impl into sink at return value`
+}
+
+// Value struct literals, fixed-index loads, pointer receivers, and
+// constant arguments all stay allowed: they compile to stores, not heap
+// allocations.
+//
+//impact:hotpath
+func hotClean(c *point, vals []int64, i int) int64 {
+	v := point{x: 1}
+	vals[i] = v.x
+	c.y = vals[i]
+	return c.x + c.y
+}
+
+// Unannotated functions allocate freely.
+func coldPath() []byte {
+	return make([]byte, 64)
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises well-formed //lint:ignore suppression: each
+// directive names the analyzer and carries a reason, and covers its own
+// line plus the line directly below.
+package fixture
+
+import "time"
+
+func suppressedSameLine() int64 {
+	return time.Now().UnixNano() //lint:ignore nodeterminism fixture exercises same-line suppression
+}
+
+func suppressedLineAbove() int64 {
+	//lint:ignore nodeterminism fixture exercises next-line suppression
+	return time.Now().UnixNano()
+}
+
+func suppressedWrongCheck() int64 {
+	//lint:ignore atomicwrite a directive for another analyzer does not suppress this one
+	return time.Now().UnixNano() // want `wall-clock read time\.Now`
+}
+
+func outOfRange() int64 {
+	//lint:ignore nodeterminism two lines above the call is out of the directive's reach
+
+	return time.Now().UnixNano() // want `wall-clock read time\.Now`
+}

@@ -1,0 +1,18 @@
+// Package fixture holds malformed //lint:ignore directives: one with no
+// reason, one naming an unknown check. Neither suppresses anything, and
+// both must surface as lintdirective findings (asserted in ignore_test.go
+// rather than with want comments, because the finding lands on the
+// directive's own line).
+package fixture
+
+import "time"
+
+func missingReason() int64 {
+	//lint:ignore nodeterminism
+	return time.Now().UnixNano()
+}
+
+func unknownCheck() int64 {
+	//lint:ignore nosuchcheck the check name is not in the suite
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,88 @@
+// Package fixture exercises the nodeterminism analyzer: it masquerades
+// as repro/internal/sim, one of the packages whose output feeds the
+// content-addressed result store.
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand: simulated components must draw randomness from the seeded stats\.Rng`
+	"sort"
+	"sync"
+	"time"
+)
+
+func wallClock() int64 {
+	start := time.Now()          // want `wall-clock read time\.Now`
+	elapsed := time.Since(start) // want `wall-clock read time\.Since`
+	return elapsed.Nanoseconds() + rand.Int63()
+}
+
+func orderLeaks(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration with order-dependent effects`
+		out = append(out, v)
+	}
+	return out
+}
+
+func orderSafe(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func racyAppend(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, 1) // want `goroutine appends to captured "out"`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func racyAccumulate(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += 1 // want `goroutine accumulates into captured "total"`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func disjointIndices(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgFuncCall resolves call's callee as a package-level function selector
+// ("os.WriteFile") and returns the import path and function name. ok is
+// false for method calls, local calls, builtins, and conversions.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// builtinName returns the name of the builtin call (e.g. "make",
+// "append"), or "" when call is not a builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	ident, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return ""
+	}
+	if b, isBuiltin := info.Uses[ident].(*types.Builtin); isBuiltin {
+		return b.Name()
+	}
+	return ""
+}
+
+// isConversion reports whether call is a type conversion, returning the
+// destination type.
+func isConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// isMap reports whether t's core type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.IsInterface(t)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcHasDirective reports whether a function declaration carries the
+// given //-style magic comment (e.g. "//impact:hotpath") in its doc.
+func funcHasDirective(decl *ast.FuncDecl, directive string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverTypeName returns the bare type name of a method receiver
+// ("Engine" for func (e *Engine) ...), or "" for plain functions.
+func receiverTypeName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+// freeObject reports whether ident (resolved through info) refers to a
+// variable declared outside the [lo, hi) position range — i.e. a free
+// variable of the function literal spanning that range.
+func freeObject(info *types.Info, ident *ast.Ident, lo, hi int) *types.Var {
+	obj, ok := info.Uses[ident].(*types.Var)
+	if !ok || obj.Pos() == 0 {
+		return nil
+	}
+	if int(obj.Pos()) >= lo && int(obj.Pos()) < hi {
+		return nil
+	}
+	return obj
+}
+
+// implementsResponseWriter reports whether t is, or trivially implements,
+// net/http.ResponseWriter (resolved from the analyzed package's imports;
+// false when the package does not import net/http).
+func implementsResponseWriter(pkg *types.Package, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		obj := imp.Scope().Lookup("ResponseWriter")
+		if obj == nil {
+			return false
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			return false
+		}
+		return types.Implements(t, iface) || types.Identical(t, obj.Type())
+	}
+	return false
+}

@@ -220,6 +220,8 @@ func (c *Controller) SetOwner(bank, proc int) error {
 // defenses the returned Outcome reflects what the device did, but the
 // Latency is what the requester observes — which is exactly the distinction
 // the defenses exploit.
+//
+//impact:hotpath
 func (c *Controller) Access(now int64, bank int, row int64, proc int) (dram.AccessResult, error) {
 	if c.cfg.Defense == DefensePartition {
 		if bank >= 0 && bank < len(c.owners) {
@@ -257,6 +259,8 @@ func (c *Controller) Access(now int64, bank int, row int64, proc int) (dram.Acce
 }
 
 // Activate opens a row (sender-side PEIs) subject to the same defenses.
+//
+//impact:hotpath
 func (c *Controller) Activate(now int64, bank int, row int64, proc int) (dram.AccessResult, error) {
 	if c.cfg.Defense == DefensePartition {
 		if bank >= 0 && bank < len(c.owners) {
@@ -317,6 +321,8 @@ func (c *Controller) RowClone(now int64, bank int, srcRow, dstRow int64, proc in
 
 // padded returns the constant-time access latency (never shorter than the
 // observed latency, so padding cannot speed a request up).
+//
+//impact:hotpath
 func (c *Controller) padded(actual int64) int64 {
 	worst := c.dev.Config().Timing.WorstCaseLatency() + c.cfg.RequestOverhead
 	if actual > worst {
@@ -326,6 +332,8 @@ func (c *Controller) padded(actual int64) int64 {
 }
 
 // paddedRowClone pads RowClone operations to their worst case.
+//
+//impact:hotpath
 func (c *Controller) paddedRowClone(actual int64) int64 {
 	t := c.dev.Config().Timing
 	worst := t.TRAS + t.TRP + t.TRCD + t.RowCloneFPM + c.cfg.RequestOverhead
@@ -338,6 +346,8 @@ func (c *Controller) paddedRowClone(actual int64) int64 {
 // actObserve updates per-bank ACT epoch accounting with the outcome of an
 // access that started at now and reports whether the bank is currently under
 // the constant-time policy.
+//
+//impact:hotpath
 func (c *Controller) actObserve(now int64, bank int, outcome dram.Outcome) bool {
 	if bank < 0 || bank >= len(c.actState) || c.cfg.ACT.EpochCycles <= 0 {
 		return false

@@ -61,6 +61,8 @@ func (s *Set) AddHistogram(name string, bounds []int64) HistogramID {
 
 // Add atomically adds delta to a counter slot. Hot path: one padded
 // atomic add, no hashing, no allocation.
+//
+//impact:hotpath
 func (s *Set) Add(id CounterID, delta int64) {
 	s.counters[id].v.Add(delta)
 }
@@ -74,6 +76,8 @@ func (s *Set) Value(id CounterID) int64 {
 func (s *Set) CounterName(id CounterID) string { return s.counterNames[id] }
 
 // Observe records one sample in a histogram.
+//
+//impact:hotpath
 func (s *Set) Observe(id HistogramID, v int64) {
 	s.hists[id].observe(v)
 }
@@ -124,6 +128,8 @@ func (g *Groups) counter(label, slot int) CounterID {
 }
 
 // Add atomically adds delta to one label's counter slot.
+//
+//impact:hotpath
 func (g *Groups) Add(label, slot int, delta int64) {
 	g.set.Add(g.counter(label, slot), delta)
 }
@@ -134,6 +140,8 @@ func (g *Groups) Value(label, slot int) int64 {
 }
 
 // Observe records one sample in a label's histogram.
+//
+//impact:hotpath
 func (g *Groups) Observe(label int, v int64) {
 	g.set.Observe(g.hists[label], v)
 }

@@ -128,6 +128,8 @@ func (e *PEIEngine) Counters() *stats.Counters { return e.counters }
 // Execute runs one PEI (e.g. pim_add) on the word at addr synchronously:
 // the caller's clock should advance by the returned Latency. The PMU routes
 // the PEI host-side when the locality monitor indicates cached data.
+//
+//impact:hotpath
 func (e *PEIEngine) Execute(now int64, addr uint64, proc int) (PEIResult, error) {
 	highLocality := e.monitor.Observe(addr)
 	if highLocality && e.host != nil {
@@ -156,6 +158,8 @@ func (e *PEIEngine) Execute(now int64, addr uint64, proc int) (PEIResult, error)
 // the caller's clock advances only by the issue cost, and CompletedAt tells
 // a later memory fence when the operation drains. This is the sender-side
 // fire-and-forget pattern of Listing 1.
+//
+//impact:hotpath
 func (e *PEIEngine) ExecuteAsync(now int64, addr uint64, proc int) (PEIResult, error) {
 	highLocality := e.monitor.Observe(addr)
 	if highLocality && e.host != nil {

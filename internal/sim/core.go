@@ -46,6 +46,8 @@ func (c *Core) ID() int { return c.id }
 func (c *Core) Now() int64 { return c.clock }
 
 // Advance moves the clock forward by d cycles (negative values are ignored).
+//
+//impact:hotpath
 func (c *Core) Advance(d int64) {
 	if d > 0 {
 		c.clock += d
@@ -53,6 +55,8 @@ func (c *Core) Advance(d int64) {
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future.
+//
+//impact:hotpath
 func (c *Core) AdvanceTo(t int64) {
 	if t > c.clock {
 		c.clock = t
@@ -68,6 +72,8 @@ func (c *Core) MMU() *tlb.MMU { return c.mmu }
 // Rdtscp reads the timestamp counter: it advances the clock by the timer
 // cost and returns the post-read cycle, mirroring how rdtscp serializes
 // reads on real hardware.
+//
+//impact:hotpath
 func (c *Core) Rdtscp() int64 {
 	c.clock += c.m.cfg.Costs.TimerCost
 	return c.clock
@@ -98,6 +104,8 @@ func (c *Core) track(completedAt int64) {
 
 // TranslateTouch warms the translation for vaddr without touching the data:
 // the attacker's trick for keeping page walks out of its timed probes.
+//
+//impact:hotpath
 func (c *Core) TranslateTouch(vaddr uint64) int64 {
 	lat := c.mmu.Translate(c.clock, vaddr, false)
 	c.clock += lat
@@ -108,6 +116,8 @@ func (c *Core) TranslateTouch(vaddr uint64) int64 {
 // counter: address translation (possibly a page-table walk) followed by the
 // cache hierarchy. The clock advances by the total latency, which is also
 // returned.
+//
+//impact:hotpath
 func (c *Core) Load(vaddr uint64, pc uint64) int64 {
 	lat := c.mmu.Translate(c.clock, vaddr, false)
 	lat += c.hier.Load(c.clock+lat, vaddr, pc)
@@ -120,6 +130,8 @@ func (c *Core) Load(vaddr uint64, pc uint64) int64 {
 // an eviction-set loop. Cache and DRAM state update fully, but the clock
 // advances only by the exposed fraction: the LLC lookup plus mlp times the
 // remaining miss latency.
+//
+//impact:hotpath
 func (c *Core) LoadOverlapped(vaddr uint64, pc uint64, mlp float64) int64 {
 	lat := c.mmu.Translate(c.clock, vaddr, false)
 	full := c.hier.Load(c.clock+lat, vaddr, pc)
@@ -241,6 +253,8 @@ func (c *Core) DMATransfer(vaddr uint64) int64 {
 }
 
 // LoopTick charges the per-iteration loop overhead of attack loops.
+//
+//impact:hotpath
 func (c *Core) LoopTick() {
 	c.clock += c.m.cfg.Costs.LoopOverhead
 }

@@ -11,6 +11,9 @@ import (
 // alternating shapes), and a shape-matching config that Reset still
 // refuses is dropped rather than handed out.
 func TestPoolShapeSharding(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector; exact hit/miss pins cannot hold")
+	}
 	pool := NewPool()
 
 	cfgA := DefaultConfig()
@@ -82,6 +85,9 @@ func TestPoolShapeSharding(t *testing.T) {
 // DRAM validation). The pooled machine must be discarded — not re-pooled —
 // and Get must surface New's error.
 func TestPoolDropOnResetRefusal(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector; exact drop/miss pins cannot hold")
+	}
 	pool := NewPool()
 	m, err := pool.Get(DefaultConfig())
 	if err != nil {

@@ -49,11 +49,15 @@ func NewFixed(names ...string) *Counters {
 
 // Add adds delta to a registered slot. This is the hot path: a bounds-checked
 // array index, no hashing, no allocation.
+//
+//impact:hotpath
 func (c *Counters) Add(id CounterID, delta int64) {
 	c.slots[id] += delta
 }
 
 // Value returns the current value of a registered slot without hashing.
+//
+//impact:hotpath
 func (c *Counters) Value(id CounterID) int64 {
 	return c.slots[id]
 }

@@ -55,6 +55,8 @@ func New(cfg Config) *TLB {
 }
 
 // Lookup probes the TLB for the page containing vaddr, inserting on miss.
+//
+//impact:hotpath
 func (t *TLB) Lookup(vaddr uint64) bool {
 	t.tick++
 	vpn := vaddr >> t.cfg.PageBits
@@ -136,6 +138,8 @@ func (m *MMU) Counters() *stats.Counters { return m.counters }
 // Translate returns the address-translation latency for vaddr. huge selects
 // the 2 MiB page path. On an L1 and L2 TLB miss the walker is invoked for
 // each page-table level, and those accesses hit DRAM.
+//
+//impact:hotpath
 func (m *MMU) Translate(now int64, vaddr uint64, huge bool) int64 {
 	l1 := m.dtlb4k
 	if huge {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/exp/fsio"
 	"repro/pkg/api"
 )
 
@@ -301,6 +302,16 @@ func TestClientCancelWhileCompleting(t *testing.T) {
 	ts := newTestServer(t, exp.WithWorkers(8))
 	c := newTestClient(t, ts.URL)
 	ctx := context.Background()
+
+	// Slow every cold run down so the cancel reliably lands while the
+	// sweep is in flight: on a fast machine all 8 runs can otherwise
+	// finish inside the submit→cancel HTTP round trip and no round ever
+	// exercises the race this test exists for.
+	fsio.SetFailpoint("engine.run", func() error {
+		time.Sleep(15 * time.Millisecond)
+		return nil
+	})
+	defer fsio.SetFailpoint("engine.run", nil)
 
 	grid := make([]json.RawMessage, 8)
 	for i := range grid {
