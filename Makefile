@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet vet-extra lint build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke objsweep
+.PHONY: ci fmt vet vet-extra lint build test race bench-smoke bench serve sweep-smoke client-smoke loadtest-smoke loadtest jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke cluster-smoke objsweep
 
-ci: fmt vet vet-extra build lint test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke bench-smoke
+ci: fmt vet vet-extra build lint test race sweep-smoke client-smoke loadtest-smoke jobs-smoke recovery-smoke objsweep-smoke fuzz-smoke coldpath-smoke cluster-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -52,6 +52,7 @@ race:
 	$(GO) test -race ./internal/exp -run 'TestEngineCacheAndDeterminism|TestServerRunCacheHit|TestCacheCompute|TestConcurrentIdenticalRuns|TestJob|TestStore|TestJournal|TestGraceful|TestCrash|TestCancelBeats|TestRunPanic|TestPooledSweepParallelDeterminism|TestStreamingSweepMemoryBoundTrimmed'
 	$(GO) test -race ./internal/exp/fsio
 	$(GO) test -race ./internal/exp/pack
+	$(GO) test -race ./internal/cluster
 	$(GO) test -race ./pkg/client
 
 # Quick regression signal on the allocation-free hot path.
@@ -117,6 +118,13 @@ objsweep:
 fuzz-smoke:
 	$(GO) test ./internal/exp/pack -run xxx -fuzz FuzzDecodeNeedle -fuzztime 5s
 	$(GO) test ./internal/exp/pack -run xxx -fuzz FuzzDecodeIndex -fuzztime 5s
+
+# Cluster smoke: three in-process nodes over real listeners, a sweep
+# through one node, a peer partitioned mid-sweep on another — every
+# response must stay byte-identical and the survivors must keep serving
+# the dead node's keys (see internal/cluster's TestClusterSmoke).
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 ./internal/cluster
 
 # Crash-recovery smoke: build the real server binary, kill it -9 mid-job,
 # restart it on the same -data-dir, and require the interrupted job to

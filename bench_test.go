@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -737,12 +738,12 @@ func BenchmarkResultStoreGet(b *testing.B) {
 	run := func(b *testing.B, st exp.ResultStore, n int) {
 		b.Helper()
 		for i := 0; i < n; i++ {
-			st.Put(keyOf(i), blob)
+			st.Put(context.Background(), keyOf(i), blob)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, ok := st.Get(keyOf(i % n)); !ok {
+			if _, ok := st.Get(context.Background(), keyOf(i%n)); !ok {
 				b.Fatalf("preloaded key %d missing", i%n)
 			}
 		}

@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,7 @@ func newBenchMetrics() *metrics.Groups {
 // config is the parsed flag set.
 type config struct {
 	base      string
+	cluster   []string    // cluster mode: one base URL per node, load rotated
 	spec      api.RunSpec // template for warm requests and cold variants
 	figure    string
 	workers   int
@@ -139,6 +141,9 @@ func run(args []string, stdout io.Writer) error {
 	gets := fs.Int64("gets", 10000, "with -objects: number of random Get probes to time")
 	jsonOut := fs.Bool("json", false, "print the summary as JSON")
 	smoke := fs.Bool("smoke", false, "exit nonzero unless errors==0, QPS>0, and hit rate>0")
+	clusterList := fs.String("cluster", "",
+		"comma-separated base URLs of cluster nodes; workers rotate requests across them "+
+			"and the summary adds per-node hit ratios (overrides -addr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -165,7 +170,23 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("negative -objects/-gets")
 	}
 
+	var clusterAddrs []string
+	if *clusterList != "" {
+		if *inprocess {
+			return fmt.Errorf("-cluster and -inprocess are mutually exclusive")
+		}
+		for _, a := range strings.Split(*clusterList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				clusterAddrs = append(clusterAddrs, a)
+			}
+		}
+		if len(clusterAddrs) == 0 {
+			return fmt.Errorf("-cluster %q names no nodes", *clusterList)
+		}
+	}
+
 	cfg := config{
+		cluster:   clusterAddrs,
 		figure:    *figure,
 		workers:   *workers,
 		duration:  *duration,
@@ -204,7 +225,8 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	if *inprocess {
+	switch {
+	case *inprocess:
 		var engineOpts []exp.EngineOption
 		if *dataDir != "" {
 			store, closeStore, err := openBackend(cfg.storeKind, cfg.dataDir)
@@ -217,7 +239,9 @@ func run(args []string, stdout io.Writer) error {
 		ts := httptest.NewServer(exp.NewServer(exp.NewEngine(engineOpts...)).Handler())
 		defer ts.Close()
 		cfg.base = ts.URL
-	} else {
+	case len(cfg.cluster) > 0:
+		cfg.base = strings.Join(cfg.cluster, ",")
+	default:
 		cfg.base = *addr
 	}
 
@@ -281,27 +305,43 @@ func coldSpec(spec api.RunSpec, n int64) (api.RunSpec, error) {
 	return spec, nil
 }
 
-// drive fires the configured load and aggregates the results.
+// drive fires the configured load and aggregates the results. In
+// cluster mode (cfg.cluster non-empty) one client per node is built and
+// workers rotate requests across them deterministically, with a second
+// metrics group keyed by node feeding the summary's per-node rows.
 func drive(cfg config) (*summary, error) {
 	met := newBenchMetrics()
+	bases := cfg.cluster
+	if len(bases) == 0 {
+		bases = []string{cfg.base}
+	}
 	// The default transport pools only 2 idle connections per host, which
 	// would make every worker beyond the second pay connection churn —
 	// a client-side artifact in the numbers this tool exists to measure.
 	// Retries are disabled for the same reason: a load generator reports
 	// failures, it does not mask them.
-	c, err := client.New(cfg.base,
-		client.WithHTTPClient(&http.Client{
-			Timeout: 5 * time.Minute,
-			Transport: &http.Transport{
-				MaxIdleConns:        cfg.workers,
-				MaxIdleConnsPerHost: cfg.workers,
-			},
-		}),
-		client.WithTimeout(0),
-		client.WithRetry(0, 0),
-		client.WithPollInterval(time.Millisecond))
-	if err != nil {
-		return nil, err
+	clients := make([]*client.Client, len(bases))
+	for i, base := range bases {
+		c, err := client.New(base,
+			client.WithHTTPClient(&http.Client{
+				Timeout: 5 * time.Minute,
+				Transport: &http.Transport{
+					MaxIdleConns:        cfg.workers,
+					MaxIdleConnsPerHost: cfg.workers,
+				},
+			}),
+			client.WithTimeout(0),
+			client.WithRetry(0, 0),
+			client.WithPollInterval(time.Millisecond))
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+	var nodeMet *metrics.Groups
+	if len(bases) > 1 {
+		nodeMet = metrics.NewGroups(bases, []string{"requests", "errors", "hit", "miss", "partial"},
+			"latency_ns", metrics.LatencyBounds())
 	}
 
 	var issued atomic.Int64  // budget mode: claimed request slots
@@ -323,17 +363,25 @@ func drive(cfg config) (*summary, error) {
 		go func(w int) {
 			defer wg.Done()
 			// Deterministic per-worker op mix: the request schedule is a
-			// pure function of flags and worker index.
+			// pure function of flags and worker index, and in cluster mode
+			// the node rotation is too.
 			rng := rand.New(rand.NewSource(int64(w) + 1))
-			for next() {
+			for seq := 0; next(); seq++ {
+				node := (w + seq) % len(clients)
+				rec := func(op opKind, d time.Duration, status int, xcache string) {
+					observe(met, int(op), d, status, xcache)
+					if nodeMet != nil {
+						observe(nodeMet, node, d, status, xcache)
+					}
+				}
 				var err error
 				switch {
 				case rng.Float64() >= cfg.runFrac:
-					err = doFigure(c, cfg, met)
+					err = doFigure(clients[node], cfg, rec)
 				case cfg.jobs:
-					err = doJob(c, cfg, met, rng, &coldSeq)
+					err = doJob(clients[node], cfg, rec, rng, &coldSeq)
 				default:
-					err = doRun(c, cfg, met, rng, &coldSeq)
+					err = doRun(clients[node], cfg, rec, rng, &coldSeq)
 				}
 				if err != nil {
 					errs[w] = err
@@ -349,24 +397,37 @@ func drive(cfg config) (*summary, error) {
 			return nil, err
 		}
 	}
-	return summarize(met, elapsed), nil
+	sum := summarize(met, elapsed)
+	if nodeMet != nil {
+		sum.Nodes = make(map[string]opSummary, len(bases))
+		for i, base := range bases {
+			sum.Nodes[base] = groupSummary(nodeMet, i, elapsed)
+		}
+	}
+	return sum, nil
 }
 
-// observe records one completed request in the shared metrics.
-func observe(met *metrics.Groups, op opKind, d time.Duration, status int, xcache string) {
-	met.Add(int(op), ctrRequests, 1)
-	met.Observe(int(op), d.Nanoseconds())
+// recorder sinks one completed request's observation; drive wires it to
+// the per-op metrics and, in cluster mode, the per-node metrics too.
+type recorder func(op opKind, d time.Duration, status int, xcache string)
+
+// observe records one completed request under a metrics group label
+// (an op in the per-op group, a node in the per-node group — both use
+// the same counter slots).
+func observe(met *metrics.Groups, label int, d time.Duration, status int, xcache string) {
+	met.Add(label, ctrRequests, 1)
+	met.Observe(label, d.Nanoseconds())
 	if status >= 400 {
-		met.Add(int(op), ctrErrors, 1)
+		met.Add(label, ctrErrors, 1)
 		return
 	}
 	switch xcache {
 	case "hit":
-		met.Add(int(op), ctrHit, 1)
+		met.Add(label, ctrHit, 1)
 	case "partial":
-		met.Add(int(op), ctrPartial, 1)
+		met.Add(label, ctrPartial, 1)
 	default:
-		met.Add(int(op), ctrMiss, 1)
+		met.Add(label, ctrMiss, 1)
 	}
 }
 
@@ -390,7 +451,7 @@ func benchSpec(cfg config, rng *rand.Rand, coldSeq *atomic.Int64) (api.RunSpec, 
 }
 
 // doRun fires one POST /v1/run, cold or warm per the configured ratio.
-func doRun(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, coldSeq *atomic.Int64) error {
+func doRun(c *client.Client, cfg config, rec recorder, rng *rand.Rand, coldSeq *atomic.Int64) error {
 	spec, err := benchSpec(cfg, rng, coldSeq)
 	if err != nil {
 		return err
@@ -402,10 +463,10 @@ func doRun(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, co
 		if !ok {
 			return err
 		}
-		observe(met, opRun, time.Since(start), status, "")
+		rec(opRun, time.Since(start), status, "")
 		return nil
 	}
-	observe(met, opRun, time.Since(start), http.StatusOK, cache.State)
+	rec(opRun, time.Since(start), http.StatusOK, cache.State)
 	return nil
 }
 
@@ -414,7 +475,7 @@ func doRun(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, co
 // wait for the terminal status and classify hit/miss from the job's cache
 // counts. The observed latency covers the whole lifecycle, which is the
 // number a client of the async API actually experiences.
-func doJob(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, coldSeq *atomic.Int64) error {
+func doJob(c *client.Client, cfg config, rec recorder, rng *rand.Rand, coldSeq *atomic.Int64) error {
 	spec, err := benchSpec(cfg, rng, coldSeq)
 	if err != nil {
 		return err
@@ -427,7 +488,7 @@ func doJob(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, co
 		if !ok {
 			return err
 		}
-		observe(met, opRun, time.Since(start), status, "")
+		rec(opRun, time.Since(start), status, "")
 		return nil
 	}
 
@@ -437,7 +498,7 @@ func doJob(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, co
 		if !ok {
 			return err
 		}
-		observe(met, opRun, time.Since(start), status, "")
+		rec(opRun, time.Since(start), status, "")
 		return nil
 	}
 	for {
@@ -465,7 +526,7 @@ func doJob(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, co
 		if !ok {
 			return err
 		}
-		observe(met, opRun, time.Since(start), status, "")
+		rec(opRun, time.Since(start), status, "")
 		return nil
 	}
 	status := http.StatusOK
@@ -479,12 +540,12 @@ func doJob(c *client.Client, cfg config, met *metrics.Groups, rng *rand.Rand, co
 	case info.Misses > 0 && info.Hits > 0:
 		xcache = "partial"
 	}
-	observe(met, opRun, time.Since(start), status, xcache)
+	rec(opRun, time.Since(start), status, xcache)
 	return nil
 }
 
 // doFigure fires one GET /v1/figures/{id}.
-func doFigure(c *client.Client, cfg config, met *metrics.Groups) error {
+func doFigure(c *client.Client, cfg config, rec recorder) error {
 	start := time.Now()
 	_, cache, err := c.Figure(context.Background(), cfg.figure, "")
 	if err != nil {
@@ -492,10 +553,10 @@ func doFigure(c *client.Client, cfg config, met *metrics.Groups) error {
 		if !ok {
 			return err
 		}
-		observe(met, opFigure, time.Since(start), status, "")
+		rec(opFigure, time.Since(start), status, "")
 		return nil
 	}
-	observe(met, opFigure, time.Since(start), http.StatusOK, cache.State)
+	rec(opFigure, time.Since(start), http.StatusOK, cache.State)
 	return nil
 }
 
@@ -521,10 +582,33 @@ type summary struct {
 	Workers        int                  `json:"workers"`
 	Ops            map[string]opSummary `json:"ops"`
 	Total          opSummary            `json:"total"`
+	// Nodes breaks the same numbers down by cluster node (with -cluster
+	// only), keyed by base URL — the per-node hit ratios show how the
+	// ring spreads warm keys across members.
+	Nodes map[string]opSummary `json:"nodes,omitempty"`
 	// MachinePool is the server's machine-pool traffic over the whole
 	// bench (in -inprocess mode only): how many cold runs reused a pooled
 	// machine via the reset fast path instead of paying full assembly.
 	MachinePool *api.MachinePoolStats `json:"machine_pool,omitempty"`
+}
+
+// groupSummary folds one label of a metrics group into a report row.
+func groupSummary(met *metrics.Groups, label int, elapsed time.Duration) opSummary {
+	lat := met.Histogram(label)
+	o := opSummary{
+		Requests: met.Value(label, ctrRequests),
+		Errors:   met.Value(label, ctrErrors),
+		Hits:     met.Value(label, ctrHit),
+		Misses:   met.Value(label, ctrMiss),
+		Partial:  met.Value(label, ctrPartial),
+		P50:      lat.Quantile(0.50),
+		P90:      lat.Quantile(0.90),
+		P99:      lat.Quantile(0.99),
+		MeanNs:   lat.Mean(),
+	}
+	o.QPS = rate(o.Requests, elapsed)
+	o.HitRate = hitRate(o)
+	return o
 }
 
 // summarize folds the metrics set into the report.
@@ -536,19 +620,7 @@ func summarize(met *metrics.Groups, elapsed time.Duration) *summary {
 	var merged metrics.HistogramSnapshot
 	for op := opKind(0); op < opCount; op++ {
 		lat := met.Histogram(int(op))
-		o := opSummary{
-			Requests: met.Value(int(op), ctrRequests),
-			Errors:   met.Value(int(op), ctrErrors),
-			Hits:     met.Value(int(op), ctrHit),
-			Misses:   met.Value(int(op), ctrMiss),
-			Partial:  met.Value(int(op), ctrPartial),
-			P50:      lat.Quantile(0.50),
-			P90:      lat.Quantile(0.90),
-			P99:      lat.Quantile(0.99),
-			MeanNs:   lat.Mean(),
-		}
-		o.QPS = rate(o.Requests, elapsed)
-		o.HitRate = hitRate(o)
+		o := groupSummary(met, int(op), elapsed)
 		sum.Ops[opNames[op]] = o
 
 		sum.Total.Requests += o.Requests
@@ -616,6 +688,15 @@ func printSummary(w io.Writer, cfg config, sum *summary) error {
 		row(opNames[op], sum.Ops[opNames[op]])
 	}
 	row("total", sum.Total)
+	if len(sum.Nodes) > 0 {
+		// Per-node rows in -cluster order (cfg.base joins the node URLs).
+		fmt.Fprintf(w, "per node:\n")
+		for _, base := range strings.Split(cfg.base, ",") {
+			if o, ok := sum.Nodes[base]; ok {
+				row(base, o)
+			}
+		}
+	}
 	if p := sum.MachinePool; p != nil {
 		fmt.Fprintf(w, "machine pool: %d reset reuses, %d fresh builds, %d shape drops\n",
 			p.Hits, p.Misses, p.Drops)

@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/exp"
 	"repro/pkg/api"
 )
@@ -147,6 +150,74 @@ func TestColdSpecPatch(t *testing.T) {
 	}
 }
 
+// TestBenchClusterMode boots a two-node in-process cluster and drives it
+// with -cluster: requests rotate across both nodes, every node takes
+// traffic, the per-node rows appear in the summary, and their counters
+// add up to the total.
+func TestBenchClusterMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	const n = 2
+	servers := make([]*httptest.Server, n)
+	members := make([]cluster.Node, n)
+	for i := range servers {
+		servers[i] = httptest.NewUnstartedServer(http.NotFoundHandler())
+		members[i] = cluster.Node{ID: fmt.Sprintf("n%d", i+1), Addr: servers[i].Listener.Addr().String()}
+	}
+	urls := make([]string, n)
+	for i, ts := range servers {
+		store, err := cluster.New(cluster.Config{Self: members[i].ID, Nodes: members})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := exp.NewServer(exp.NewEngine(exp.WithStore(store)), exp.WithWorkers(2))
+		ts.Config.Handler = srv.Handler()
+		ts.Start()
+		urls[i] = ts.URL
+		t.Cleanup(func() {
+			ts.Close()
+			store.Close()
+		})
+	}
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-cluster", urls[0] + "," + urls[1],
+		"-workers", "2",
+		"-requests", "12",
+		"-run-frac", "0.5",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("cluster bench run: %v\n%s", err, out.String())
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("stdout not a single JSON document: %v\n%s", err, out.String())
+	}
+	if sum.Total.Requests != 12 || sum.Total.Errors != 0 {
+		t.Fatalf("total: %+v", sum.Total)
+	}
+	if len(sum.Nodes) != n {
+		t.Fatalf("summary has %d node rows, want %d: %v", len(sum.Nodes), n, sum.Nodes)
+	}
+	var perNode int64
+	for _, u := range urls {
+		row, ok := sum.Nodes[u]
+		if !ok {
+			t.Fatalf("no per-node row for %s", u)
+		}
+		if row.Requests == 0 {
+			t.Fatalf("node %s took no traffic: %v", u, sum.Nodes)
+		}
+		perNode += row.Requests
+	}
+	if perNode != sum.Total.Requests {
+		t.Fatalf("per-node requests %d != total %d", perNode, sum.Total.Requests)
+	}
+}
+
 // TestBenchFlagValidation pins flag error handling.
 func TestBenchFlagValidation(t *testing.T) {
 	cases := [][]string{
@@ -157,6 +228,8 @@ func TestBenchFlagValidation(t *testing.T) {
 		{"-requests", "-5"},
 		{"-spec", "/does/not/exist.json"},
 		{"-bogus"},
+		{"-cluster", "http://a,http://b", "-inprocess"},
+		{"-cluster", " , "},
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -128,7 +129,7 @@ func runObjectSweep(cfg config, stdout io.Writer) error {
 					return
 				}
 				payload := objPayload(i)
-				st.Put(objKey(payload), payload)
+				st.Put(context.Background(), objKey(payload), payload)
 			}
 		}()
 	}
@@ -149,7 +150,7 @@ func runObjectSweep(cfg config, stdout io.Writer) error {
 				payload := objPayload(rng.Int63n(cfg.objects))
 				key := objKey(payload)
 				t0 := time.Now()
-				_, ok := st.Get(key)
+				_, ok := st.Get(context.Background(), key)
 				met.Observe(0, time.Since(t0).Nanoseconds())
 				met.Add(0, 0, 1)
 				if !ok {

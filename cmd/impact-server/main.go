@@ -40,9 +40,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exp"
 	"repro/internal/exp/pack"
 )
@@ -52,6 +54,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "impact-server:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers parses the -peers membership list: comma-separated id=addr
+// entries, e.g. "n1=10.0.0.1:8322,n2=10.0.0.2:8322,n3=10.0.0.3:8322".
+// Uniqueness and non-emptiness are validated again by the ring; this
+// only handles the flag syntax.
+func parsePeers(raw string) ([]cluster.Node, error) {
+	parts := strings.Split(raw, ",")
+	nodes := make([]cluster.Node, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("malformed -peers entry %q (want id=addr)", part)
+		}
+		nodes = append(nodes, cluster.Node{ID: id, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-peers %q names no nodes", raw)
+	}
+	return nodes, nil
 }
 
 // run parses flags and serves until the listener fails or a termination
@@ -68,6 +94,10 @@ func run(args []string, ready chan<- string) error {
 	maxJobs := fs.Int("max-jobs", 0, "async job registry bound; finished jobs retire FIFO (0 = default 256)")
 	drain := fs.Duration("drain-timeout", 30*time.Second,
 		"graceful-shutdown budget: in-flight jobs finish and journal before exit")
+	nodeID := fs.String("node-id", "", "this node's stable cluster identity (required with -peers)")
+	peers := fs.String("peers", "",
+		"static cluster membership as id=addr,id=addr,... including this node; "+
+			"results shard across members by consistent hashing with async replication")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,9 +111,14 @@ func run(args []string, ready chan<- string) error {
 		return fmt.Errorf("non-positive drain timeout %s", *drain)
 	}
 
+	if *peers != "" && *nodeID == "" {
+		return fmt.Errorf("-peers requires -node-id")
+	}
+
 	var engineOpts []exp.EngineOption
 	serverOpts := []exp.ServerOption{exp.WithWorkers(*workers), exp.WithMaxJobs(*maxJobs)}
 	var packStore *pack.Store
+	var localStore exp.ResultStore
 	if *dataDir != "" {
 		// Both backends share the data dir: the pack engine keeps its
 		// bundles under <data-dir>/pack (migrating any per-file fan-out it
@@ -97,7 +132,7 @@ func run(args []string, ready chan<- string) error {
 				return err
 			}
 			packStore = store
-			engineOpts = append(engineOpts, exp.WithStore(store))
+			localStore = store
 			fmt.Fprintf(os.Stderr, "impact-server: pack result store at %s\n", store.Dir())
 			if n := store.PackStats().Migrated; n > 0 {
 				fmt.Fprintf(os.Stderr, "impact-server: migrated %d per-file result(s) into bundles\n", n)
@@ -107,7 +142,7 @@ func run(args []string, ready chan<- string) error {
 			if err != nil {
 				return err
 			}
-			engineOpts = append(engineOpts, exp.WithStore(store))
+			localStore = store
 			fmt.Fprintf(os.Stderr, "impact-server: per-file result store at %s\n", store.Dir())
 		default:
 			return fmt.Errorf("unknown store backend %q (want pack or files)", *storeKind)
@@ -123,6 +158,45 @@ func run(args []string, ready chan<- string) error {
 		// in-flight jobs finish writing through first, then the store
 		// persists its index and seals the bundles.
 		defer packStore.Close()
+	}
+
+	// The health document names the node's backend; a diskless node is
+	// "memory" regardless of -store.
+	storeLabel := "memory"
+	if *dataDir != "" {
+		storeLabel = *storeKind
+	}
+	if *peers != "" {
+		nodes, err := parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		clusterStore, err := cluster.New(cluster.Config{
+			Self:  *nodeID,
+			Nodes: nodes,
+			Local: localStore,
+		})
+		if err != nil {
+			return err
+		}
+		// Registered after packStore.Close's defer, so it runs first:
+		// replication workers stop before the pack files they write through
+		// seal.
+		defer clusterStore.Close()
+		engineOpts = append(engineOpts, exp.WithStore(clusterStore))
+		serverOpts = append(serverOpts,
+			exp.WithNodeIdentity(*nodeID, storeLabel, clusterStore.Ring().Len()-1))
+		fmt.Fprintf(os.Stderr, "impact-server: cluster node %s in a %d-node ring (R=%d)\n",
+			*nodeID, clusterStore.Ring().Len(), cluster.DefaultReplicas)
+	} else {
+		if localStore != nil {
+			engineOpts = append(engineOpts, exp.WithStore(localStore))
+		}
+		id := *nodeID
+		if id == "" {
+			id = "solo"
+		}
+		serverOpts = append(serverOpts, exp.WithNodeIdentity(id, storeLabel, 0))
 	}
 	engine := exp.NewEngine(engineOpts...)
 	expSrv := exp.NewServer(engine, serverOpts...)

@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/pkg/api"
+)
+
+// gate wraps a node's handler with fault injection: while down, every
+// request — peer traffic included — is refused, simulating a network
+// partition that can later heal (unlike closing the listener, which
+// frees the port). It also records the X-Request-ID of inbound internal
+// peer requests for the propagation test.
+type gate struct {
+	inner http.Handler
+	down  atomic.Bool
+
+	mu          sync.Mutex
+	peerReqIDs  []string
+	peerReqPath []string
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.down.Load() {
+		// An opaque non-API 503: the peer client must treat any remote
+		// failure shape as a degraded hop, not just well-formed envelopes.
+		http.Error(w, "partitioned", http.StatusServiceUnavailable)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/internal/") {
+		g.mu.Lock()
+		g.peerReqIDs = append(g.peerReqIDs, r.Header.Get(api.HeaderRequestID))
+		g.peerReqPath = append(g.peerReqPath, r.Method+" "+r.URL.Path)
+		g.mu.Unlock()
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// recordedIDs returns the X-Request-ID of each inbound internal peer
+// request whose method matches.
+func (g *gate) recordedIDs(method string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var ids []string
+	for i, p := range g.peerReqPath {
+		if strings.HasPrefix(p, method+" ") {
+			ids = append(ids, g.peerReqIDs[i])
+		}
+	}
+	return ids
+}
+
+// testNode is one in-process cluster member: a real exp.Server over a
+// real listener, its cache backed by a cluster Store that dials its
+// peers through the production pkg/client transport.
+type testNode struct {
+	node  Node
+	ts    *httptest.Server
+	store *Store
+	gate  *gate
+}
+
+// newTestCluster boots n memory-only nodes that all know each other.
+// Memory-only keeps the test hermetic: replicas land in each receiver's
+// result-cache memory tier, which is exactly the tier the internal peer
+// endpoints serve from.
+func newTestCluster(t *testing.T, n int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	members := make([]Node, n)
+	for i := range nodes {
+		ts := httptest.NewUnstartedServer(http.NotFoundHandler())
+		nodes[i] = &testNode{ts: ts}
+		members[i] = Node{ID: fmt.Sprintf("n%d", i+1), Addr: ts.Listener.Addr().String()}
+		nodes[i].node = members[i]
+	}
+	for i, tn := range nodes {
+		store, err := New(Config{
+			Self:       members[i].ID,
+			Nodes:      members,
+			HopTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.store = store
+		engine := exp.NewEngine(exp.WithStore(store))
+		srv := exp.NewServer(engine, exp.WithWorkers(2),
+			exp.WithNodeIdentity(members[i].ID, "memory", n-1))
+		tn.gate = &gate{inner: srv.Handler()}
+		tn.ts.Config.Handler = tn.gate
+		tn.ts.Start()
+		t.Cleanup(func() {
+			tn.ts.Close()
+			store.Close()
+		})
+	}
+	return nodes
+}
+
+// postRun runs a sweep spec through one node and returns the raw
+// response body.
+func postRun(t *testing.T, tn *testNode, spec string, headers map[string]string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, tn.ts.URL+"/v1/run", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/run via %s: %v", tn.node.ID, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/run via %s: %d: %s", tn.node.ID, resp.StatusCode, body)
+	}
+	return body
+}
+
+// sweepSpec builds a small covert-pnm sweep whose seed keys the whole
+// spec cold for this test alone.
+func sweepSpec(seed, points int) string {
+	grid := make([]string, points)
+	for i := range grid {
+		grid[i] = fmt.Sprint(1 << (20 + i))
+	}
+	return fmt.Sprintf(`{"scenario":"covert-pnm","config":{"noise":{"seed":%d}},"grid":{"llc_bytes":[%s]}}`,
+		seed, strings.Join(grid, ","))
+}
+
+// waitReplicationIdle waits until a node's replication queue drains.
+func waitReplicationIdle(t *testing.T, tn *testNode) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if tn.store.ClusterStats().ReplQueue == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s replication queue never drained: %+v", tn.node.ID, tn.store.ClusterStats())
+}
+
+// TestClusterPartitionRejoin is the consistency pin for the whole
+// subsystem: the same sweep, asked of different nodes before, during,
+// and after a partition, returns byte-identical bodies every time. A
+// partitioned peer may make a request slower (failed hops fall back to
+// local simulation); it must never change a single output byte and never
+// fail a request.
+func TestClusterPartitionRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	nodes := newTestCluster(t, 3)
+	spec := sweepSpec(4401, 3)
+
+	// Healthy cluster: n1 computes, n2 serves the same bytes (remote
+	// fetches or local re-simulation — either way identical).
+	reference := postRun(t, nodes[0], spec, nil)
+	if got := postRun(t, nodes[1], spec, nil); !bytes.Equal(got, reference) {
+		t.Fatal("n2's healthy-cluster body differs from n1's")
+	}
+	waitReplicationIdle(t, nodes[0])
+
+	// Partition n3 away and keep asking: warm keys on n2, cold keys via
+	// n1, a fully cold sweep via n2 — all must stay byte-identical to a
+	// healthy cluster's answers.
+	nodes[2].gate.down.Store(true)
+	if got := postRun(t, nodes[1], spec, nil); !bytes.Equal(got, reference) {
+		t.Fatal("n2's during-partition body differs")
+	}
+	coldSpec := sweepSpec(4402, 3)
+	coldRef := postRun(t, nodes[0], coldSpec, nil)
+	if got := postRun(t, nodes[1], coldSpec, nil); !bytes.Equal(got, coldRef) {
+		t.Fatal("cold sweep computed during the partition differs between nodes")
+	}
+
+	// Rejoin: the healed n3 serves the same bytes as everyone else.
+	nodes[2].gate.down.Store(false)
+	if got := postRun(t, nodes[2], spec, nil); !bytes.Equal(got, reference) {
+		t.Fatal("n3's post-rejoin body differs")
+	}
+	if got := postRun(t, nodes[2], coldSpec, nil); !bytes.Equal(got, coldRef) {
+		t.Fatal("n3's post-rejoin cold-spec body differs")
+	}
+}
+
+// TestClusterSmoke is the CI gate (make cluster-smoke): three nodes, a
+// sweep through one, a peer killed mid-sweep on another, and the
+// survivors still serving every key — including the dead node's —
+// byte-identically.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	nodes := newTestCluster(t, 3)
+	spec := sweepSpec(5501, 6)
+
+	reference := postRun(t, nodes[0], spec, nil)
+	waitReplicationIdle(t, nodes[0])
+
+	// Kill n3 mid-sweep: while n2 works through the sweep (remote-fetching
+	// keys it does not hold), the partition lands under it.
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		nodes[2].gate.down.Store(true)
+		close(killed)
+	}()
+	got := postRun(t, nodes[1], spec, nil)
+	<-killed
+	if !bytes.Equal(got, reference) {
+		t.Fatal("n2's body with a peer dying mid-sweep differs from the reference")
+	}
+
+	// The dead node's keys are still served: with n3 partitioned, both
+	// survivors answer the full sweep — keys whose replica set includes n3
+	// come from the other replica or are re-simulated.
+	for _, tn := range nodes[:2] {
+		if got := postRun(t, tn, spec, nil); !bytes.Equal(got, reference) {
+			t.Fatalf("%s's body with n3 dead differs from the reference", tn.node.ID)
+		}
+	}
+
+	// The cluster layer actually participated: someone fetched remotely or
+	// replicated successfully, and nobody returned an error anywhere above.
+	var remoteHits, replSent int64
+	for _, tn := range nodes {
+		st := tn.store.ClusterStats()
+		remoteHits += st.RemoteHits
+		replSent += st.ReplSent
+	}
+	if remoteHits == 0 && replSent == 0 {
+		t.Fatal("three-node smoke ran without any cross-node traffic")
+	}
+}
+
+// TestClusterRequestIDPropagation pins satellite behavior: a peer hop
+// made on behalf of a user request carries the user's X-Request-ID, so
+// one request traces as one ID across every node it touches.
+func TestClusterRequestIDPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	nodes := newTestCluster(t, 2)
+	const traceID = "trace-cluster-0042"
+
+	// Two nodes, R=2: every key's replica set is both nodes, so n1 probes
+	// n2 for every cold key before simulating. Only the synchronous fetch
+	// hops ride the user's request; replication PUTs run detached from any
+	// request on purpose (results outlive the request that computed them)
+	// and carry no inherited ID.
+	postRun(t, nodes[0], sweepSpec(6601, 2), map[string]string{api.HeaderRequestID: traceID})
+
+	ids := nodes[1].gate.recordedIDs(http.MethodGet)
+	if len(ids) == 0 {
+		t.Fatal("n1 never forwarded a peer fetch to n2")
+	}
+	for _, id := range ids {
+		if id != traceID {
+			t.Fatalf("peer fetch carried X-Request-ID %q, want %q (all: %v)", id, traceID, ids)
+		}
+	}
+}
+
+// TestClusterHealthIdentity pins the healthz identity fields a cluster
+// node reports.
+func TestClusterHealthIdentity(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	resp, err := http.Get(nodes[1].ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.NodeID != "n2" || h.Store != "memory" || h.Peers != 2 {
+		t.Fatalf("healthz identity = %q/%q/%d, want n2/memory/2", h.NodeID, h.Store, h.Peers)
+	}
+}
+
+// TestClusterMetricsSection pins that a cluster-backed node surfaces the
+// cluster section on /v1/metrics with its identity filled in.
+func TestClusterMetricsSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating sweeps in -short mode")
+	}
+	nodes := newTestCluster(t, 2)
+	postRun(t, nodes[0], sweepSpec(7701, 2), nil)
+
+	resp, err := http.Get(nodes[0].ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc api.MetricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cluster == nil {
+		t.Fatal("metrics document has no cluster section")
+	}
+	if doc.Cluster.NodeID != "n1" || doc.Cluster.Peers != 1 {
+		t.Fatalf("cluster section identity: %+v", doc.Cluster)
+	}
+	if doc.Cluster.ReplEnqueued == 0 {
+		t.Fatalf("sweep produced no replication work: %+v", doc.Cluster)
+	}
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"repro/pkg/client"
+)
+
+// Peer is the transport to one remote cluster node: fetch a result it
+// holds locally, or hand it a replica copy. The production implementation
+// is pkg/client (the same SDK external callers use); tests inject
+// in-process fakes through Config.Dial to simulate partitions without
+// binding sockets.
+type Peer interface {
+	// FetchResult returns the peer's locally-held bytes for key, a clean
+	// miss (nil, false, nil) when the peer does not hold it, or an error
+	// when the peer is unreachable.
+	FetchResult(ctx context.Context, key string) (json.RawMessage, bool, error)
+	// StoreResult hands the peer a replica copy to store locally.
+	StoreResult(ctx context.Context, key string, blob json.RawMessage) error
+}
+
+// DialFunc builds the transport to one node. Called once per peer at
+// store construction; the static membership list means there is nothing
+// to re-dial later.
+type DialFunc func(n Node) (Peer, error)
+
+// defaultDial connects via pkg/client. The per-request timeout is left
+// to the cluster store's per-hop context (the store owns the latency
+// budget, and a fetch and a replication push deserve different bounds),
+// and the retry budget is kept small with a tight backoff: a peer hop is
+// an optimization over local simulation, so a flapping peer gets one
+// quick second chance, not a patient courtship.
+func defaultDial(n Node) (Peer, error) {
+	return client.New(n.Addr,
+		client.WithTimeout(0),
+		client.WithRetry(1, 25*time.Millisecond),
+		client.WithBackoffCap(250*time.Millisecond),
+	)
+}

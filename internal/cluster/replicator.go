@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Replication retry schedule: a push gets a handful of quick attempts
+// with doubling, capped backoff, then the copy is abandoned (the ring
+// heals by fetch or re-simulation). Totals well under ten seconds per
+// push, so a dead peer cannot pin a worker for long.
+const (
+	replAttempts    = 4
+	replBackoffBase = 50 * time.Millisecond
+	replBackoffCap  = time.Second
+)
+
+// replJob is one pending push: this blob to that peer. Jobs are
+// per-peer (a key replicating to two peers enqueues two jobs) so one
+// unreachable peer retries without holding up the copy to a healthy one.
+type replJob struct {
+	peerID string
+	key    string
+	blob   json.RawMessage
+}
+
+// replicator drains the bounded replication queue. Its lifetime is the
+// store's, not any request's: results outlive the sweep that computed
+// them, so pushes run under a detached context that only Close cancels.
+type replicator struct {
+	store   *Store
+	ch      chan replJob
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	pending int64
+}
+
+func newReplicator(s *Store, queueLen, workers int) *replicator {
+	if queueLen <= 0 {
+		queueLen = DefaultQueueLen
+	}
+	if workers <= 0 {
+		workers = DefaultReplWorkers
+	}
+	//lint:ignore ctxplumb replication outlives the request that computed the result; Close interrupts explicitly
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &replicator{
+		store:  s,
+		ch:     make(chan replJob, queueLen),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.work()
+	}
+	return r
+}
+
+// enqueue hands a push to the workers without ever blocking the caller:
+// the simulation path funds replication with a channel send, nothing
+// more. A full queue drops the push (counted), and sends after close are
+// silently discarded — a sweep draining during shutdown loses only
+// replica copies, never its own results.
+func (r *replicator) enqueue(peerID, key string, blob json.RawMessage) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	select {
+	case r.ch <- replJob{peerID: peerID, key: key, blob: blob}:
+		r.pending++
+		r.store.met.Add(cReplEnqueued, 1)
+	default:
+		r.store.met.Add(cReplDropped, 1)
+	}
+}
+
+// queued reports the jobs accepted but not yet settled (sent or
+// abandoned).
+func (r *replicator) queued() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending
+}
+
+func (r *replicator) settle() {
+	r.mu.Lock()
+	r.pending--
+	r.mu.Unlock()
+}
+
+// work drains the queue until close. Each job gets replAttempts tries
+// with capped exponential backoff; each attempt is bounded by the
+// store's hop timeout.
+func (r *replicator) work() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case job := <-r.ch:
+			r.push(job)
+			r.settle()
+		}
+	}
+}
+
+func (r *replicator) push(job replJob) {
+	peer, ok := r.store.peers[job.peerID]
+	if !ok {
+		r.store.met.Add(cReplFailed, 1)
+		return
+	}
+	backoff := replBackoffBase
+	for attempt := 0; attempt < replAttempts; attempt++ {
+		if attempt > 0 {
+			r.store.met.Add(cReplRetries, 1)
+			select {
+			case <-r.ctx.Done():
+				r.store.met.Add(cReplFailed, 1)
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > replBackoffCap {
+				backoff = replBackoffCap
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.ctx, r.store.hop)
+		err := peer.StoreResult(ctx, job.key, job.blob)
+		cancel()
+		if err == nil {
+			r.store.met.Add(cReplSent, 1)
+			return
+		}
+		if r.ctx.Err() != nil {
+			break // shutting down; stop burning attempts
+		}
+	}
+	r.store.met.Add(cReplFailed, 1)
+}
+
+// close stops accepting work and interrupts the workers. Unsent jobs are
+// abandoned without being counted as failed — shutdown is not a peer
+// fault.
+func (r *replicator) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, nodes []Node, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "alpha", Addr: "a:1"}, {ID: "beta", Addr: "b:1"}, {ID: "gamma", Addr: "c:1"},
+	}
+}
+
+// synthetic keys for distribution tests; placement hashes keys again, so
+// they need not be hex digests.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%06d", i)
+	}
+	return keys
+}
+
+// TestRingPlacementGolden pins placement to exact byte-stable values:
+// the ring must place these keys on these nodes in every process, on
+// every architecture, forever. If this test breaks, placement changed,
+// and a rolling restart of a live cluster would orphan every cached
+// result on the wrong node.
+func TestRingPlacementGolden(t *testing.T) {
+	ring := mustRing(t, threeNodes(), 64)
+	golden := map[string][2]string{
+		"0000000000000000000000000000000000000000000000000000000000000000": {"beta", "gamma"},
+		"4a5e1e4baab89f3a32518a88c31bc87f618f76673e2cc77ab2127b7afdeda33b": {"gamma", "beta"},
+		"9b0fcb6e86e9df8eb723bd4b8c8e2f0c7a3d5e1f2a4b6c8d9e0f1a2b3c4d5e6f": {"alpha", "beta"},
+		"ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff": {"gamma", "beta"},
+		"deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef": {"alpha", "gamma"},
+	}
+	for key, want := range golden {
+		reps := ring.Replicas(key, 2)
+		if len(reps) != 2 || reps[0].ID != want[0] || reps[1].ID != want[1] {
+			t.Errorf("Replicas(%s..., 2) = %v, want %v", key[:8], reps, want)
+		}
+		if owner := ring.Owner(key); owner.ID != want[0] {
+			t.Errorf("Owner(%s...) = %s, want %s", key[:8], owner.ID, want[0])
+		}
+	}
+}
+
+// TestRingOrderIndependent builds the same membership in two different
+// list orders and checks every key lands identically: the -peers flag's
+// argument order must not affect placement, or two nodes with
+// differently ordered flags would route the same key to different
+// owners.
+func TestRingOrderIndependent(t *testing.T) {
+	a := mustRing(t, threeNodes(), 32)
+	reversed := []Node{
+		{ID: "gamma", Addr: "c:1"}, {ID: "alpha", Addr: "a:1"}, {ID: "beta", Addr: "b:1"},
+	}
+	b := mustRing(t, reversed, 32)
+	for _, key := range testKeys(2000) {
+		ra, rb := a.Replicas(key, 2), b.Replicas(key, 2)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("key %q: placement differs by construction order: %v vs %v", key, ra, rb)
+			}
+		}
+	}
+}
+
+// TestRingRebalance checks the consistent-hashing contract: growing the
+// cluster from N to N+1 nodes moves roughly K/(N+1) of the keys and no
+// more, and every moved key moves TO the new node — existing nodes never
+// trade keys among themselves.
+func TestRingRebalance(t *testing.T) {
+	keys := testKeys(20000)
+	before := mustRing(t, threeNodes(), 64)
+	after := mustRing(t, append(threeNodes(), Node{ID: "delta", Addr: "d:1"}), 64)
+
+	moved := 0
+	for _, key := range keys {
+		oldOwner, newOwner := before.Owner(key), after.Owner(key)
+		if oldOwner.ID == newOwner.ID {
+			continue
+		}
+		moved++
+		if newOwner.ID != "delta" {
+			t.Fatalf("key %q moved %s → %s: keys may only move to the joining node", key, oldOwner.ID, newOwner.ID)
+		}
+	}
+	// Ideal share is 1/4 of the keys. Allow generous slack for vnode
+	// placement variance, but fail if movement is wildly off: far too few
+	// means the new node is underused, far too many means placement churns.
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("adding a 4th node moved %.1f%% of keys, want roughly 25%%", 100*frac)
+	}
+}
+
+// TestRingRemovalRebalance is the inverse: removing a node reassigns
+// only the keys it owned.
+func TestRingRemovalRebalance(t *testing.T) {
+	keys := testKeys(20000)
+	before := mustRing(t, threeNodes(), 64)
+	after := mustRing(t, threeNodes()[:2], 64)
+
+	for _, key := range keys {
+		oldOwner, newOwner := before.Owner(key), after.Owner(key)
+		if oldOwner.ID != "gamma" && oldOwner.ID != newOwner.ID {
+			t.Fatalf("key %q moved %s → %s though its owner survived", key, oldOwner.ID, newOwner.ID)
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread load sanely: with the
+// default vnode count, no node of three owns more than half or less than
+// a tenth of the keyspace.
+func TestRingBalance(t *testing.T) {
+	ring := mustRing(t, threeNodes(), 0) // default vnodes
+	counts := map[string]int{}
+	keys := testKeys(30000)
+	for _, key := range keys {
+		counts[ring.Owner(key).ID]++
+	}
+	for id, n := range counts {
+		frac := float64(n) / float64(len(keys))
+		if frac < 0.10 || frac > 0.55 {
+			t.Errorf("node %s owns %.1f%% of the keyspace", id, 100*frac)
+		}
+	}
+}
+
+// TestRingReplicas checks the replica-set contract: distinct nodes,
+// owner first, clamped to the membership size.
+func TestRingReplicas(t *testing.T) {
+	ring := mustRing(t, threeNodes(), 16)
+	for _, key := range testKeys(500) {
+		reps := ring.Replicas(key, 2)
+		if len(reps) != 2 {
+			t.Fatalf("Replicas(%q, 2) returned %d nodes", key, len(reps))
+		}
+		if reps[0] != ring.Owner(key) {
+			t.Fatalf("Replicas(%q)[0] = %v, want the owner %v", key, reps[0], ring.Owner(key))
+		}
+		if reps[0].ID == reps[1].ID {
+			t.Fatalf("Replicas(%q) repeated node %s", key, reps[0].ID)
+		}
+	}
+	if got := ring.Replicas("k", 99); len(got) != 3 {
+		t.Fatalf("Replicas(k, 99) on a 3-node ring returned %d nodes, want 3 (clamped)", len(got))
+	}
+	if got := ring.Replicas("k", 0); len(got) != 1 {
+		t.Fatalf("Replicas(k, 0) returned %d nodes, want 1 (owner only)", len(got))
+	}
+}
+
+// TestRingValidation rejects malformed memberships up front.
+func TestRingValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []Node
+	}{
+		{"empty", nil},
+		{"missing id", []Node{{Addr: "a:1"}}},
+		{"missing addr", []Node{{ID: "a"}}},
+		{"duplicate id", []Node{{ID: "a", Addr: "a:1"}, {ID: "a", Addr: "b:1"}}},
+		{"duplicate addr", []Node{{ID: "a", Addr: "a:1"}, {ID: "b", Addr: "a:1"}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewRing(tc.nodes, 8); err == nil {
+			t.Errorf("%s: NewRing accepted invalid membership", tc.name)
+		}
+	}
+}
+
+// FuzzRingPlacement fuzzes arbitrary keys against the placement
+// invariants: deterministic across independently built rings, replica
+// sets distinct with the owner first, and stable under membership
+// reordering.
+func FuzzRingPlacement(f *testing.F) {
+	f.Add("deadbeef")
+	f.Add("")
+	f.Add("4a5e1e4baab89f3a32518a88c31bc87f618f76673e2cc77ab2127b7afdeda33b")
+	f.Add("key with spaces \x00 and bytes")
+
+	ringA, err := NewRing(threeNodes(), 32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	reversed := []Node{
+		{ID: "gamma", Addr: "c:1"}, {ID: "beta", Addr: "b:1"}, {ID: "alpha", Addr: "a:1"},
+	}
+	ringB, err := NewRing(reversed, 32)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, key string) {
+		repsA := ringA.Replicas(key, 2)
+		repsB := ringB.Replicas(key, 2)
+		if len(repsA) != 2 || len(repsB) != 2 {
+			t.Fatalf("replica set size: %d vs %d, want 2", len(repsA), len(repsB))
+		}
+		for i := range repsA {
+			if repsA[i] != repsB[i] {
+				t.Fatalf("key %q places differently across rings: %v vs %v", key, repsA, repsB)
+			}
+		}
+		if repsA[0].ID == repsA[1].ID {
+			t.Fatalf("key %q: replica set repeats node %s", key, repsA[0].ID)
+		}
+		if repsA[0] != ringA.Owner(key) {
+			t.Fatalf("key %q: replicas[0] %v is not the owner %v", key, repsA[0], ringA.Owner(key))
+		}
+	})
+}

@@ -134,8 +134,10 @@ func TestRequestIDHeader(t *testing.T) {
 }
 
 // TestHealthzBuildInfo pins the satellite contract: /healthz carries
-// version and go fields from the embedded build info, alongside the
-// stable status + cache counters.
+// version and go fields from the embedded build info and the node's
+// cluster identity (node_id, store backend, peer count), alongside the
+// stable status + cache counters. A server given no identity reports
+// the solo defaults.
 func TestHealthzBuildInfo(t *testing.T) {
 	h := NewServer(NewEngine(), WithWorkers(1)).Handler()
 	rec := doRequest(t, h, http.MethodGet, "/healthz", "")
@@ -155,6 +157,72 @@ func TestHealthzBuildInfo(t *testing.T) {
 	if !strings.HasPrefix(health.Go, "go") {
 		t.Fatalf("healthz go = %q, want a go toolchain version", health.Go)
 	}
+	if health.NodeID != "solo" || health.Store != "memory" || health.Peers != 0 {
+		t.Fatalf("default identity = %q/%q/%d, want solo/memory/0",
+			health.NodeID, health.Store, health.Peers)
+	}
+
+	// The raw body carries the identity fields under their wire names.
+	for _, field := range []string{`"node_id":"solo"`, `"store":"memory"`, `"peers":0`} {
+		if !strings.Contains(rec.Body.String(), field) {
+			t.Fatalf("healthz body missing %s: %s", field, rec.Body.String())
+		}
+	}
+
+	// A configured identity is surfaced verbatim.
+	h = NewServer(NewEngine(), WithWorkers(1), WithNodeIdentity("n2", "pack", 2)).Handler()
+	rec = doRequest(t, h, http.MethodGet, "/healthz", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.NodeID != "n2" || health.Store != "pack" || health.Peers != 2 {
+		t.Fatalf("identity = %q/%q/%d, want n2/pack/2", health.NodeID, health.Store, health.Peers)
+	}
+}
+
+// TestPeerResultEndpoints pins the internal peer wire contract: PUT
+// stores a blob into the node's local tiers, GET serves it back framed
+// exactly like every other JSON body (blob + one newline), a malformed
+// key is a 400 before any store work, an absent key is a 404 with code
+// result_not_found, and non-JSON replica payloads are refused.
+func TestPeerResultEndpoints(t *testing.T) {
+	h := NewServer(NewEngine(), WithWorkers(1)).Handler()
+	key := strings.Repeat("ab", 32)
+	blob := `{"report":{"v":1}}`
+
+	for _, bad := range []string{"short", strings.Repeat("g", 64), strings.Repeat("AB", 32)} {
+		rec := doRequest(t, h, http.MethodGet, "/v1/internal/results/"+bad, "")
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("GET with key %q = %d, want 400", bad, rec.Code)
+		}
+	}
+
+	rec := doRequest(t, h, http.MethodGet, "/v1/internal/results/"+key, "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET absent key = %d, want 404", rec.Code)
+	}
+	var env api.Envelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Err == nil {
+		t.Fatalf("404 body is not an error envelope: %s", rec.Body.String())
+	}
+	if env.Err.Code != api.CodeResultNotFound {
+		t.Fatalf("miss code = %q, want result_not_found", env.Err.Code)
+	}
+
+	if rec := doRequest(t, h, http.MethodPut, "/v1/internal/results/"+key, `{"broken`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("PUT invalid JSON = %d, want 400", rec.Code)
+	}
+
+	if rec := doRequest(t, h, http.MethodPut, "/v1/internal/results/"+key, blob); rec.Code != http.StatusOK {
+		t.Fatalf("PUT = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = doRequest(t, h, http.MethodGet, "/v1/internal/results/"+key, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET after PUT = %d", rec.Code)
+	}
+	if got := rec.Body.String(); got != blob+"\n" {
+		t.Fatalf("round-tripped body %q, want %q + newline", got, blob)
+	}
 }
 
 // fakeReport pre-resolves every run of a spec with a synthetic report, so
@@ -171,7 +239,7 @@ func fakeReport(t *testing.T, eng *Engine, rawSpec string) Spec {
 		t.Fatal(err)
 	}
 	for _, r := range runs {
-		eng.cache.Put(r.Key, json.RawMessage(`{"id":"fake"}`))
+		eng.cache.Put(context.Background(), r.Key, json.RawMessage(`{"id":"fake"}`))
 	}
 	return spec
 }
@@ -314,7 +382,7 @@ func TestJobCancelLifecycle(t *testing.T) {
 	// == 1 therefore pins the exact sweep phase the DELETE races against:
 	// one run done, one in flight.
 	fakeA := json.RawMessage(`{"id":"fake-a"}`)
-	eng.cache.Put(runs[0].Key, fakeA)
+	eng.cache.Put(context.Background(), runs[0].Key, fakeA)
 	release := blockRun(eng, runs[1].Key)
 
 	sub := doRequest(t, h, http.MethodPost, "/v1/jobs", `{

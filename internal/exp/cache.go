@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -36,18 +37,35 @@ const (
 	shardCap   = maxEntries / cacheShards
 )
 
-// ResultStore is the durable backend a Cache writes through to. Two
+// ResultStore is the durable backend a Cache writes through to. Three
 // implementations exist: the per-file Store in this package (one fanned-
-// out file per result) and the pack engine in internal/exp/pack
+// out file per result), the pack engine in internal/exp/pack
 // (append-only bundles behind a needle index, flat lookup cost at any
-// object count). Both share the contract the cache relies on: Get
-// returns previously Put bytes or reports a miss — never a wrong or
-// partial value (corrupt entries are dropped and heal by re-simulation)
-// — and Put is best-effort, first write wins. Implementations must be
+// object count), and the cluster store in internal/cluster (a local
+// backend plus hash-ring-placed remote peers). All share the contract
+// the cache relies on: Get returns previously Put bytes or reports a
+// miss — never a wrong or partial value (corrupt entries are dropped and
+// heal by re-simulation) — and Put is best-effort, first write wins.
+// The context carries the caller's cancellation, deadline, and request
+// ID; purely local backends may ignore it, but a networked backend
+// bounds its remote hops with it and propagates the request ID so a
+// cross-node lookup chain traces as one request. Implementations must be
 // safe for concurrent use.
 type ResultStore interface {
-	Get(key string) (json.RawMessage, bool)
-	Put(key string, blob json.RawMessage)
+	Get(ctx context.Context, key string) (json.RawMessage, bool)
+	Put(ctx context.Context, key string, blob json.RawMessage)
+}
+
+// localTierStore is implemented by ResultStores that are fronts for a
+// cluster: LocalGet and LocalPut bypass any remote hops and touch only
+// the node's own durable tier. The server's internal peer endpoints use
+// them so one node answering another's fetch can never recurse into a
+// third hop, and so an inbound replica copy is stored without being
+// re-replicated. Detected structurally — exp never imports
+// internal/cluster; the dependency points the other way.
+type localTierStore interface {
+	LocalGet(ctx context.Context, key string) (json.RawMessage, bool)
+	LocalPut(ctx context.Context, key string, blob json.RawMessage)
 }
 
 // Cache is a content-addressed result store: keys are the hex SHA-256 of a
@@ -129,14 +147,16 @@ func (c *Cache) shardFor(key string) *cacheShard {
 }
 
 // Get returns the cached report bytes for a key, recording a hit or miss.
-// Memory misses fall through to the disk store when one is configured;
-// disk hits are promoted back into memory and count as cache hits (the
-// store's own counters record the memory/disk split). Callers must treat
-// the returned bytes as immutable.
-func (c *Cache) Get(key string) (json.RawMessage, bool) {
+// Memory misses fall through to the configured store (disk, or disk plus
+// remote peers in a cluster); store hits are promoted back into memory
+// and count as cache hits (the store's own counters record the
+// memory/disk/remote split). ctx bounds any remote hops the store makes
+// and carries the request ID across them. Callers must treat the
+// returned bytes as immutable.
+func (c *Cache) Get(ctx context.Context, key string) (json.RawMessage, bool) {
 	blob, ok := c.lookup(key)
 	if !ok && c.store != nil {
-		if disk, diskOK := c.store.Get(key); diskOK {
+		if disk, diskOK := c.store.Get(ctx, key); diskOK {
 			blob, ok = disk, true
 			// Memory-only insert: the entry is already durable.
 			c.add(key, disk)
@@ -151,19 +171,56 @@ func (c *Cache) Get(key string) (json.RawMessage, bool) {
 }
 
 // Peek returns the cached bytes for a key without recording a hit or a
-// miss, falling through to the disk store like Get (disk hits are still
+// miss, falling through to the store like Get (store hits are still
 // promoted into memory). Job streams rebuild their results from the cache
 // on replay; that accounting belongs to the sweep that computed the
 // reports, not to every later reader.
-func (c *Cache) Peek(key string) (json.RawMessage, bool) {
+func (c *Cache) Peek(ctx context.Context, key string) (json.RawMessage, bool) {
 	blob, ok := c.lookup(key)
 	if !ok && c.store != nil {
-		if disk, diskOK := c.store.Get(key); diskOK {
+		if disk, diskOK := c.store.Get(ctx, key); diskOK {
 			blob, ok = disk, true
 			c.add(key, disk)
 		}
 	}
 	return blob, ok
+}
+
+// PeekLocal returns the cached bytes for a key from this node's own
+// tiers only — memory, then the store's local tier — never crossing the
+// network, and records no hit/miss accounting. This is the probe behind
+// the internal peer-fetch endpoint: node A asking node B must see
+// exactly what B holds, not trigger B asking C.
+func (c *Cache) PeekLocal(ctx context.Context, key string) (json.RawMessage, bool) {
+	if blob, ok := c.lookup(key); ok {
+		return blob, true
+	}
+	switch st := c.store.(type) {
+	case localTierStore:
+		return st.LocalGet(ctx, key)
+	case nil:
+		return nil, false
+	default:
+		return c.store.Get(ctx, key)
+	}
+}
+
+// PutLocal stores report bytes into this node's own tiers only — memory
+// plus the store's local tier — without triggering replication. This is
+// the write behind the internal peer replication endpoint: the sender
+// already placed the copy by ring position, so the receiver fanning it
+// out again would echo forever.
+func (c *Cache) PutLocal(ctx context.Context, key string, blob json.RawMessage) {
+	if !c.add(key, blob) {
+		return
+	}
+	switch st := c.store.(type) {
+	case localTierStore:
+		st.LocalPut(ctx, key, blob)
+	case nil:
+	default:
+		c.store.Put(ctx, key, blob)
+	}
 }
 
 // lookup probes a shard without touching the hit/miss counters (Compute's
@@ -180,12 +237,12 @@ func (c *Cache) lookup(key string) (json.RawMessage, bool) {
 // when one is configured. First store wins: with a deterministic simulator
 // any concurrent second computation produced the same bytes, so keeping
 // the existing entry preserves pointer stability.
-func (c *Cache) Put(key string, blob json.RawMessage) {
+func (c *Cache) Put(ctx context.Context, key string, blob json.RawMessage) {
 	if !c.add(key, blob) {
 		return
 	}
 	if c.store != nil {
-		c.store.Put(key, blob)
+		c.store.Put(ctx, key, blob)
 	}
 }
 
@@ -221,7 +278,9 @@ func (c *Cache) add(key string, blob json.RawMessage) bool {
 // cached and every coalesced caller gets the error; a later retry
 // recomputes. Callers are expected to have already probed Get (Compute
 // itself never records hits or misses, only computes and dedup_hits).
-func (c *Cache) Compute(key string, fn func() (json.RawMessage, error)) (json.RawMessage, error) {
+// ctx rides into the write-through Put, bounding a clustered store's
+// replication enqueue the same way Get bounds its fetches.
+func (c *Cache) Compute(ctx context.Context, key string, fn func() (json.RawMessage, error)) (json.RawMessage, error) {
 	c.flightMu.Lock()
 	if call, ok := c.flight[key]; ok {
 		c.flightMu.Unlock()
@@ -261,7 +320,7 @@ func (c *Cache) Compute(key string, fn func() (json.RawMessage, error)) (json.Ra
 	c.met.Add(cacheComputes, 1)
 	call.blob, call.err = fn()
 	if call.err == nil {
-		c.Put(key, call.blob)
+		c.Put(ctx, key, call.blob)
 	}
 	return call.blob, call.err
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -30,7 +31,7 @@ func TestCacheCompute(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			blob, err := c.Compute("k", fn)
+			blob, err := c.Compute(context.Background(), "k", fn)
 			if err != nil {
 				t.Error(err)
 			}
@@ -56,7 +57,7 @@ func TestCacheCompute(t *testing.T) {
 	}
 
 	// A cached key never reruns fn, even through Compute.
-	if _, err := c.Compute("k", func() (json.RawMessage, error) {
+	if _, err := c.Compute(context.Background(), "k", func() (json.RawMessage, error) {
 		t.Fatal("recomputed a cached key")
 		return nil, nil
 	}); err != nil {
@@ -66,13 +67,13 @@ func TestCacheCompute(t *testing.T) {
 	// Failures propagate to every coalesced caller and leave no entry, so
 	// a retry gets a fresh computation.
 	boom := errors.New("boom")
-	if _, err := c.Compute("bad", func() (json.RawMessage, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, err := c.Compute(context.Background(), "bad", func() (json.RawMessage, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("error not propagated: %v", err)
 	}
 	if _, ok := c.lookup("bad"); ok {
 		t.Fatal("failed computation was cached")
 	}
-	blob, err := c.Compute("bad", func() (json.RawMessage, error) { return json.RawMessage(`{}`), nil })
+	blob, err := c.Compute(context.Background(), "bad", func() (json.RawMessage, error) { return json.RawMessage(`{}`), nil })
 	if err != nil || string(blob) != `{}` {
 		t.Fatalf("retry after failure: %q, %v", blob, err)
 	}
@@ -89,7 +90,7 @@ func TestCacheComputePanic(t *testing.T) {
 	go func() {
 		defer close(done)
 		defer func() { recover() }() // a recovering caller above Compute
-		c.Compute("k", func() (json.RawMessage, error) {
+		c.Compute(context.Background(), "k", func() (json.RawMessage, error) {
 			close(entered)
 			<-release
 			panic("boom")
@@ -114,7 +115,7 @@ func TestCacheComputePanic(t *testing.T) {
 	if _, ok := c.lookup("k"); ok {
 		t.Fatal("panicking computation left a cache entry")
 	}
-	blob, err := c.Compute("k", func() (json.RawMessage, error) { return json.RawMessage(`{}`), nil })
+	blob, err := c.Compute(context.Background(), "k", func() (json.RawMessage, error) { return json.RawMessage(`{}`), nil })
 	if err != nil || string(blob) != `{}` {
 		t.Fatalf("retry after panic: %q, %v", blob, err)
 	}

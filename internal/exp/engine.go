@@ -156,7 +156,7 @@ func (e *Engine) execute(ctx context.Context, runs []Run, workers int, onRun fun
 	// points inside one sweep are simulated at most once.
 	var misses []Run
 	for _, key := range keyOrder {
-		if blob, ok := e.cache.Get(key); ok {
+		if blob, ok := e.cache.Get(ctx, key); ok {
 			resolve(key, blob, true)
 			out.Hits++
 		} else {
@@ -191,7 +191,7 @@ func (e *Engine) execute(ctx context.Context, runs []Run, workers int, onRun fun
 					}
 					r := misses[i]
 					var blob json.RawMessage
-					blob, errs[i] = e.cache.Compute(r.Key, func() (json.RawMessage, error) {
+					blob, errs[i] = e.cache.Compute(ctx, r.Key, func() (json.RawMessage, error) {
 						return e.executeRun(r)
 					})
 					if errs[i] == nil {
@@ -297,13 +297,13 @@ func (e *Engine) executeStream(ctx context.Context, x *Expansion, workers int, o
 						Params:   it.r.Params,
 					},
 				}
-				if blob, ok := e.cache.Get(it.r.Key); ok {
+				if blob, ok := e.cache.Get(ctx, it.r.Key); ok {
 					rr.Report, rr.Cached = blob, true
 					mu.Lock()
 					hits++
 					mu.Unlock()
 				} else {
-					blob, err := e.cache.Compute(it.r.Key, func() (json.RawMessage, error) {
+					blob, err := e.cache.Compute(ctx, it.r.Key, func() (json.RawMessage, error) {
 						return e.executeRun(it.r)
 					})
 					if err != nil {

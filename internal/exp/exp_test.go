@@ -152,17 +152,17 @@ func seq(n int) string {
 // TestCacheCounters pins the content-addressed cache contract.
 func TestCacheCounters(t *testing.T) {
 	c := NewCache()
-	if _, ok := c.Get("k"); ok {
+	if _, ok := c.Get(context.Background(), "k"); ok {
 		t.Fatal("phantom entry")
 	}
-	c.Put("k", json.RawMessage(`{"a":1}`))
-	blob, ok := c.Get("k")
+	c.Put(context.Background(), "k", json.RawMessage(`{"a":1}`))
+	blob, ok := c.Get(context.Background(), "k")
 	if !ok || string(blob) != `{"a":1}` {
 		t.Fatalf("lookup = %q, %v", blob, ok)
 	}
 	// First store wins; duplicates do not bump the store counter.
-	c.Put("k", json.RawMessage(`{"a":2}`))
-	blob, _ = c.Get("k")
+	c.Put(context.Background(), "k", json.RawMessage(`{"a":2}`))
+	blob, _ = c.Get(context.Background(), "k")
 	if string(blob) != `{"a":1}` {
 		t.Fatal("duplicate store replaced the entry")
 	}
@@ -305,15 +305,15 @@ func TestCacheEviction(t *testing.T) {
 	// shards sees more inserts than its per-shard cap.
 	const inserts = 2 * maxEntries
 	for i := 0; i < inserts; i++ {
-		c.Put("key-"+strconv.Itoa(i), blob)
+		c.Put(context.Background(), "key-"+strconv.Itoa(i), blob)
 	}
 	if c.Len() > maxEntries {
 		t.Fatalf("cache grew to %d entries, bound is %d", c.Len(), maxEntries)
 	}
-	if _, ok := c.Get("key-0"); ok {
+	if _, ok := c.Get(context.Background(), "key-0"); ok {
 		t.Fatal("oldest entry survived a full overfill of its shard")
 	}
-	if _, ok := c.Get("key-" + strconv.Itoa(inserts-1)); !ok {
+	if _, ok := c.Get(context.Background(), "key-"+strconv.Itoa(inserts-1)); !ok {
 		t.Fatal("newest entry missing")
 	}
 	st := c.Stats()
@@ -323,8 +323,8 @@ func TestCacheEviction(t *testing.T) {
 	}
 	// A shard at capacity replaces its own oldest entry, never a
 	// neighbor's: re-adding an evicted key must land and stay retrievable.
-	c.Put("key-0", blob)
-	if _, ok := c.Get("key-0"); !ok {
+	c.Put(context.Background(), "key-0", blob)
+	if _, ok := c.Get(context.Background(), "key-0"); !ok {
 		t.Fatal("re-added key missing")
 	}
 }
@@ -342,7 +342,7 @@ func TestCacheEvictionChurn(t *testing.T) {
 		keys[i] = "churn-" + strconv.Itoa(i)
 	}
 	for i, k := range keys {
-		c.Put(k, blob)
+		c.Put(context.Background(), k, blob)
 		if i%1024 == 0 {
 			if n := c.Len(); n > maxEntries {
 				t.Fatalf("cache grew to %d entries mid-churn, bound is %d", n, maxEntries)
@@ -378,7 +378,7 @@ func TestCacheEvictionChurn(t *testing.T) {
 	// anything — zero allocations per operation.
 	next := 0
 	avg := testing.AllocsPerRun(2000, func() {
-		c.Put(keys[next%len(keys)], blob)
+		c.Put(context.Background(), keys[next%len(keys)], blob)
 		next++
 	})
 	if avg > 0.1 {

@@ -221,7 +221,7 @@ func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
 		j.mu.Lock()
 		if i < len(j.ready) && j.ready[i] {
 			j.mu.Unlock()
-			return j.rebuildRun(i)
+			return j.rebuildRun(ctx, i)
 		}
 		if settled(j.status) {
 			j.mu.Unlock()
@@ -240,12 +240,12 @@ func (j *Job) WaitRun(ctx context.Context, i int) (RunResult, bool) {
 // rebuildRun reconstructs a completed run's result outside the job lock.
 // Byte-for-byte identical to the result the engine streamed: Params
 // marshal in sorted key order, and the report is the exact cached blob.
-func (j *Job) rebuildRun(i int) (RunResult, bool) {
+func (j *Job) rebuildRun(ctx context.Context, i int) (RunResult, bool) {
 	r, err := j.x.RunAt(i)
 	if err != nil {
 		return RunResult{}, false
 	}
-	blob, ok := j.engine.cache.Peek(r.Key)
+	blob, ok := j.engine.cache.Peek(ctx, r.Key)
 	if !ok {
 		return RunResult{}, false
 	}

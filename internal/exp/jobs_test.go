@@ -3,6 +3,7 @@ package exp
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -221,7 +222,7 @@ func blockRun(eng *Engine, key string) (release func(blob json.RawMessage, err e
 		if err == nil {
 			// Mirror a real Compute leader, which stores its result before
 			// waking waiters: job streams rebuild their lines from the cache.
-			eng.cache.Put(key, blob)
+			eng.cache.Put(context.Background(), key, blob)
 		}
 		close(call.done)
 	}
@@ -308,7 +309,7 @@ func TestJobStreamFlushesIncrementally(t *testing.T) {
 	// first result immediately and then stays running until released.
 	fakeA := json.RawMessage(`{"id":"fake-a"}`)
 	fakeB := json.RawMessage(`{"id":"fake-b"}`)
-	eng.cache.Put(runs[0].Key, fakeA)
+	eng.cache.Put(context.Background(), runs[0].Key, fakeA)
 	release := blockRun(eng, runs[1].Key)
 
 	job, err := srv.jobs.Submit(spec)
@@ -395,7 +396,7 @@ func TestJobStreamFailedSweep(t *testing.T) {
 	// (the pool drains every queued run even after an earlier error).
 	fakeA := json.RawMessage(`{"id":"fake-a"}`)
 	fakeC := json.RawMessage(`{"id":"fake-c"}`)
-	eng.cache.Put(runs[0].Key, fakeA)
+	eng.cache.Put(context.Background(), runs[0].Key, fakeA)
 	blockRun(eng, runs[1].Key)(nil, fmt.Errorf("synthetic run failure"))
 	blockRun(eng, runs[2].Key)(fakeC, nil)
 

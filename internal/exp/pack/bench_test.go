@@ -1,6 +1,7 @@
 package pack
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -30,7 +31,7 @@ func BenchmarkAuditThroughput(b *testing.B) {
 	for i := 0; i < n; i++ {
 		blob := testBlob(i)
 		bytes += int64(len(blob))
-		st.Put(testKey(i), blob)
+		st.Put(context.Background(), testKey(i), blob)
 	}
 	b.SetBytes(bytes / n)
 	b.ResetTimer()
@@ -56,7 +57,7 @@ func BenchmarkCompact(b *testing.B) {
 		b.StopTimer()
 		st := benchStore(b, WithBundleSize(1<<18))
 		for j := 0; j < n; j++ {
-			st.Put(testKey(j), testBlob(j))
+			st.Put(context.Background(), testKey(j), testBlob(j))
 		}
 		st.mu.Lock()
 		for j := 0; j < n; j++ {
@@ -87,12 +88,12 @@ func BenchmarkPackGet(b *testing.B) {
 		b.Run(fmt.Sprintf("objects=%d", n), func(b *testing.B) {
 			st := benchStore(b)
 			for i := 0; i < n; i++ {
-				st.Put(testKey(i), testBlob(i))
+				st.Put(context.Background(), testKey(i), testBlob(i))
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, ok := st.Get(testKey(i % n)); !ok {
+				if _, ok := st.Get(context.Background(), testKey(i%n)); !ok {
 					b.Fatalf("preloaded key %d missing", i%n)
 				}
 			}

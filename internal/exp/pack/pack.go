@@ -35,6 +35,7 @@ package pack
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -372,7 +373,7 @@ func (s *Store) rotateLocked() (*bundle, error) {
 // pread, one CRC check. A needle that fails verification is dropped
 // from the index (and the drop persisted) so the entry heals by
 // re-simulation instead of poisoning every later read.
-func (s *Store) Get(key string) (json.RawMessage, bool) {
+func (s *Store) Get(_ context.Context, key string) (json.RawMessage, bool) {
 	if !validKey(key) {
 		s.met.Add(packMisses, 1)
 		return nil, false
@@ -431,7 +432,7 @@ func (s *Store) dropCorrupt(key string, e indexEntry, counter metrics.CounterID)
 // bundle. First write wins. Best-effort like the per-file store: any
 // failure is counted and degrades to a future miss, never a wrong
 // answer.
-func (s *Store) Put(key string, blob json.RawMessage) {
+func (s *Store) Put(_ context.Context, key string, blob json.RawMessage) {
 	if !validKey(key) {
 		s.met.Add(packErrors, 1)
 		return

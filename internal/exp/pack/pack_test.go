@@ -2,6 +2,7 @@ package pack
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -47,10 +48,10 @@ func openTest(t *testing.T, root string, opts ...Option) *Store {
 func fill(t *testing.T, st *Store, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		st.Put(testKey(i), testBlob(i))
+		st.Put(context.Background(), testKey(i), testBlob(i))
 	}
 	for i := 0; i < n; i++ {
-		got, ok := st.Get(testKey(i))
+		got, ok := st.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("Get(%d) = %q, %v after fill", i, got, ok)
 		}
@@ -60,20 +61,20 @@ func fill(t *testing.T, st *Store, n int) {
 func TestPackRoundTrip(t *testing.T) {
 	st := openTest(t, t.TempDir())
 	key := testKey(1)
-	if _, ok := st.Get(key); ok {
+	if _, ok := st.Get(context.Background(), key); ok {
 		t.Fatal("Get on empty store reported a hit")
 	}
-	st.Put(key, testBlob(1))
-	got, ok := st.Get(key)
+	st.Put(context.Background(), key, testBlob(1))
+	got, ok := st.Get(context.Background(), key)
 	if !ok || !bytes.Equal(got, testBlob(1)) {
 		t.Fatalf("Get = %q, %v", got, ok)
 	}
 	// First write wins: a second Put must not change the stored bytes.
-	st.Put(key, json.RawMessage(`{"other":true}`))
-	if got, _ := st.Get(key); !bytes.Equal(got, testBlob(1)) {
+	st.Put(context.Background(), key, json.RawMessage(`{"other":true}`))
+	if got, _ := st.Get(context.Background(), key); !bytes.Equal(got, testBlob(1)) {
 		t.Fatalf("second Put changed entry to %q", got)
 	}
-	if _, ok := st.Get("not-a-valid-key"); ok {
+	if _, ok := st.Get(context.Background(), "not-a-valid-key"); ok {
 		t.Fatal("invalid key reported a hit")
 	}
 	stats := st.PackStats()
@@ -96,7 +97,7 @@ func TestPackRotationAndReopen(t *testing.T) {
 
 	st2 := openTest(t, dir)
 	for i := 0; i < n; i++ {
-		got, ok := st2.Get(testKey(i))
+		got, ok := st2.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("after reopen, Get(%d) = %q, %v", i, got, ok)
 		}
@@ -119,7 +120,7 @@ func TestPackScanRebuildsDeletedIndex(t *testing.T) {
 
 	st2 := openTest(t, dir)
 	for i := 0; i < n; i++ {
-		got, ok := st2.Get(testKey(i))
+		got, ok := st2.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("after index loss, Get(%d) = %q, %v", i, got, ok)
 		}
@@ -146,7 +147,7 @@ func TestPackCorruptIndexFallsBackToScan(t *testing.T) {
 
 	st2 := openTest(t, dir)
 	for i := 0; i < 10; i++ {
-		if _, ok := st2.Get(testKey(i)); !ok {
+		if _, ok := st2.Get(context.Background(), testKey(i)); !ok {
 			t.Fatalf("entry %d lost after index corruption", i)
 		}
 	}
@@ -173,23 +174,23 @@ func corruptNeedle(t *testing.T, st *Store, key string) {
 func TestPackCorruptNeedleDroppedAndHealed(t *testing.T) {
 	dir := t.TempDir()
 	st := openTest(t, dir)
-	st.Put(testKey(0), testBlob(0))
-	st.Put(testKey(1), testBlob(1))
+	st.Put(context.Background(), testKey(0), testBlob(0))
+	st.Put(context.Background(), testKey(1), testBlob(1))
 	corruptNeedle(t, st, testKey(0))
 
-	if _, ok := st.Get(testKey(0)); ok {
+	if _, ok := st.Get(context.Background(), testKey(0)); ok {
 		t.Fatal("corrupt needle served")
 	}
 	if got := st.PackStats().CorruptDropped; got != 1 {
 		t.Fatalf("corrupt_dropped = %d, want 1", got)
 	}
 	// The sibling entry is untouched.
-	if got, ok := st.Get(testKey(1)); !ok || !bytes.Equal(got, testBlob(1)) {
+	if got, ok := st.Get(context.Background(), testKey(1)); !ok || !bytes.Equal(got, testBlob(1)) {
 		t.Fatalf("sibling entry = %q, %v", got, ok)
 	}
 	// The next Put heals the key.
-	st.Put(testKey(0), testBlob(0))
-	if got, ok := st.Get(testKey(0)); !ok || !bytes.Equal(got, testBlob(0)) {
+	st.Put(context.Background(), testKey(0), testBlob(0))
+	if got, ok := st.Get(context.Background(), testKey(0)); !ok || !bytes.Equal(got, testBlob(0)) {
 		t.Fatalf("healed entry = %q, %v", got, ok)
 	}
 }
@@ -201,15 +202,15 @@ func TestPackDroppedEntryStaysDroppedAcrossReopen(t *testing.T) {
 	// (its CRC fails, ending the tail scan).
 	dir := t.TempDir()
 	st := openTest(t, dir)
-	st.Put(testKey(0), testBlob(0))
+	st.Put(context.Background(), testKey(0), testBlob(0))
 	corruptNeedle(t, st, testKey(0))
-	if _, ok := st.Get(testKey(0)); ok {
+	if _, ok := st.Get(context.Background(), testKey(0)); ok {
 		t.Fatal("corrupt needle served")
 	}
 	st.Close()
 
 	st2 := openTest(t, dir)
-	if _, ok := st2.Get(testKey(0)); ok {
+	if _, ok := st2.Get(context.Background(), testKey(0)); ok {
 		t.Fatal("dropped entry resurrected by reopen")
 	}
 }
@@ -246,7 +247,7 @@ func TestPackCompaction(t *testing.T) {
 		t.Fatalf("compaction reclaimed nothing: before %+v after %+v", before, after)
 	}
 	for i := 0; i < n; i += 4 {
-		got, ok := st.Get(testKey(i))
+		got, ok := st.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("survivor %d lost by compaction: %q, %v", i, got, ok)
 		}
@@ -257,7 +258,7 @@ func TestPackCompaction(t *testing.T) {
 	// one on disk).
 	st2 := openTest(t, dir)
 	for i := 0; i < n; i += 4 {
-		got, ok := st2.Get(testKey(i))
+		got, ok := st2.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("survivor %d lost after reopen: %q, %v", i, got, ok)
 		}
@@ -281,14 +282,14 @@ func TestPackAuditDropsRot(t *testing.T) {
 		t.Fatalf("audit stats = %+v", stats)
 	}
 	for i := 0; i < n; i++ {
-		_, ok := st.Get(testKey(i))
+		_, ok := st.Get(context.Background(), testKey(i))
 		if want := i != 3 && i != 7; ok != want {
 			t.Fatalf("after audit, Get(%d) ok = %v, want %v", i, ok, want)
 		}
 	}
 	// Incremental batches: a second full pass over the healthy remainder.
-	st.Put(testKey(3), testBlob(3))
-	st.Put(testKey(7), testBlob(7))
+	st.Put(context.Background(), testKey(3), testBlob(3))
+	st.Put(context.Background(), testKey(7), testBlob(7))
 	for done := 0; done < n; {
 		c, d := st.Audit(7)
 		if d != 0 {
@@ -327,18 +328,18 @@ func TestPackTornTailTruncatedOnBoot(t *testing.T) {
 
 	st2 := openTest(t, dir)
 	for i := 0; i < 5; i++ {
-		if _, ok := st2.Get(testKey(i)); !ok {
+		if _, ok := st2.Get(context.Background(), testKey(i)); !ok {
 			t.Fatalf("entry %d lost to torn-tail truncation", i)
 		}
 	}
-	if _, ok := st2.Get(testKey(99)); ok {
+	if _, ok := st2.Get(context.Background(), testKey(99)); ok {
 		t.Fatal("torn needle served")
 	}
 	// The tail was physically removed, so the next boot scans cleanly too.
-	st2.Put(testKey(99), testBlob(99))
+	st2.Put(context.Background(), testKey(99), testBlob(99))
 	st2.Close()
 	st3 := openTest(t, dir)
-	if got, ok := st3.Get(testKey(99)); !ok || !bytes.Equal(got, testBlob(99)) {
+	if got, ok := st3.Get(context.Background(), testKey(99)); !ok || !bytes.Equal(got, testBlob(99)) {
 		t.Fatalf("append after truncation = %q, %v", got, ok)
 	}
 }
@@ -375,12 +376,12 @@ func TestPackMigratesPerFileLayout(t *testing.T) {
 
 	st := openTest(t, root)
 	for i := 0; i < n; i++ {
-		got, ok := st.Get(testKey(i))
+		got, ok := st.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("migrated entry %d = %q, %v", i, got, ok)
 		}
 	}
-	if _, ok := st.Get(badKey); ok {
+	if _, ok := st.Get(context.Background(), badKey); ok {
 		t.Fatal("corrupt legacy entry migrated")
 	}
 	stats := st.PackStats()
@@ -409,17 +410,17 @@ func TestPackFailpointAppend(t *testing.T) {
 	st := openTest(t, t.TempDir())
 	injected := errors.New("injected")
 	fsio.SetFailpoint("pack.append", func() error { return injected })
-	st.Put(testKey(0), testBlob(0))
+	st.Put(context.Background(), testKey(0), testBlob(0))
 	fsio.SetFailpoint("pack.append", nil)
-	if _, ok := st.Get(testKey(0)); ok {
+	if _, ok := st.Get(context.Background(), testKey(0)); ok {
 		t.Fatal("failed append still indexed")
 	}
 	if got := st.PackStats().Errors; got != 1 {
 		t.Fatalf("errors = %d, want 1", got)
 	}
 	// The store keeps working after the fault clears.
-	st.Put(testKey(0), testBlob(0))
-	if got, ok := st.Get(testKey(0)); !ok || !bytes.Equal(got, testBlob(0)) {
+	st.Put(context.Background(), testKey(0), testBlob(0))
+	if got, ok := st.Get(context.Background(), testKey(0)); !ok || !bytes.Equal(got, testBlob(0)) {
 		t.Fatalf("post-fault Put = %q, %v", got, ok)
 	}
 }
@@ -429,10 +430,10 @@ func TestPackFailpointIndexRecoversByScan(t *testing.T) {
 	// covered only by the bundle; a reopen must rebuild them by scan.
 	dir := t.TempDir()
 	st := openTest(t, dir)
-	st.Put(testKey(0), testBlob(0)) // indexed durably
+	st.Put(context.Background(), testKey(0), testBlob(0)) // indexed durably
 	injected := errors.New("injected")
 	fsio.SetFailpoint("pack.index", func() error { return injected })
-	st.Put(testKey(1), testBlob(1)) // append lands, index write dies
+	st.Put(context.Background(), testKey(1), testBlob(1)) // append lands, index write dies
 	fsio.SetFailpoint("pack.index", nil)
 	// Abandon without Close — simulate the crash (Close would persist).
 	st.mu.Lock()
@@ -443,7 +444,7 @@ func TestPackFailpointIndexRecoversByScan(t *testing.T) {
 
 	st2 := openTest(t, dir)
 	for i := 0; i < 2; i++ {
-		got, ok := st2.Get(testKey(i))
+		got, ok := st2.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("after index-write crash, Get(%d) = %q, %v", i, got, ok)
 		}
@@ -476,7 +477,7 @@ func TestPackFailpointCompactSwap(t *testing.T) {
 
 	// Nothing lost: every survivor readable, both live and after reopen.
 	for i := 0; i < n; i += 2 {
-		if _, ok := st.Get(testKey(i)); !ok {
+		if _, ok := st.Get(context.Background(), testKey(i)); !ok {
 			t.Fatalf("survivor %d lost to aborted compaction", i)
 		}
 	}
@@ -487,7 +488,7 @@ func TestPackFailpointCompactSwap(t *testing.T) {
 	st.Close()
 	st2 := openTest(t, dir)
 	for i := 0; i < n; i += 2 {
-		got, ok := st2.Get(testKey(i))
+		got, ok := st2.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("survivor %d wrong after reopen: %q, %v", i, got, ok)
 		}
@@ -501,11 +502,11 @@ func TestPackConcurrentAccess(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < n; i++ {
-			st.Put(testKey(i), testBlob(i))
+			st.Put(context.Background(), testKey(i), testBlob(i))
 		}
 	}()
 	for i := 0; i < n; i++ {
-		st.Get(testKey(i % 50))
+		st.Get(context.Background(), testKey(i%50))
 		if i%37 == 0 {
 			st.Audit(8)
 		}
@@ -515,7 +516,7 @@ func TestPackConcurrentAccess(t *testing.T) {
 	}
 	<-done
 	for i := 0; i < n; i++ {
-		got, ok := st.Get(testKey(i))
+		got, ok := st.Get(context.Background(), testKey(i))
 		if !ok || !bytes.Equal(got, testBlob(i)) {
 			t.Fatalf("entry %d lost under concurrency: %q, %v", i, got, ok)
 		}

@@ -392,7 +392,7 @@ func TestCrashAtEveryWriteBoundary(t *testing.T) {
 						t.Fatal(err)
 					}
 					for _, r := range runs {
-						if _, ok := store2.Get(r.Key); !ok {
+						if _, ok := store2.Get(context.Background(), r.Key); !ok {
 							t.Fatalf("run %s lost: bundle tail not rescanned after index-write crash", r.Key)
 						}
 					}
@@ -726,7 +726,7 @@ func BenchmarkJobResume(b *testing.B) {
 					b.Fatal(err)
 				}
 				for _, r := range runs[:stored] {
-					store.Put(r.Key, blobs[r.Key])
+					store.Put(context.Background(), r.Key, blobs[r.Key])
 				}
 				jl, err := NewJournal(filepath.Join(dir, "jobs"))
 				if err != nil {

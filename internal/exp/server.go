@@ -53,6 +53,11 @@ type Server struct {
 	journal *Journal
 	jobs    *Jobs
 	met     *metrics.Groups
+
+	// Cluster identity, surfaced on /healthz (see WithNodeIdentity).
+	nodeID    string
+	storeKind string
+	peers     int
 }
 
 // ServerOption configures a Server at construction.
@@ -77,12 +82,21 @@ func WithJournal(jl *Journal) ServerOption {
 	return func(s *Server) { s.journal = jl }
 }
 
+// WithNodeIdentity names this node for /healthz: its cluster node ID,
+// the configured store backend ("memory", "files", "pack"), and how many
+// peers its ring knows about (0 for a solo node). Identity is
+// observability only — placement and routing live in the cluster store,
+// not the HTTP layer.
+func WithNodeIdentity(nodeID, storeKind string, peers int) ServerOption {
+	return func(s *Server) { s.nodeID, s.storeKind, s.peers = nodeID, storeKind, peers }
+}
+
 // NewServer wraps an engine with the v1 HTTP surface; see WithWorkers,
 // WithMaxJobs, and WithJournal for the tunables. With a journal attached,
 // recovery runs here: by the time NewServer returns, interrupted jobs are
 // already executing again.
 func NewServer(engine *Engine, opts ...ServerOption) *Server {
-	s := &Server{engine: engine}
+	s := &Server{engine: engine, nodeID: "solo", storeKind: "memory"}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -121,13 +135,15 @@ const (
 	routeJobStatus
 	routeJobCancel
 	routeJobStream
+	routePeerGet
+	routePeerPut
 	routeCount
 )
 
 // routeNames are the stable labels used in the /v1/metrics document.
 var routeNames = []string{
 	"run", "figure", "scenarios", "job_submit", "job_list", "job_status",
-	"job_cancel", "job_stream",
+	"job_cancel", "job_stream", "peer_get", "peer_put",
 }
 
 // Per-route counter slots inside the metrics.Groups blocks.
@@ -150,12 +166,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(routeJobStatus, s.handleJobStatus))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument(routeJobCancel, s.handleJobCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.instrument(routeJobStream, s.handleJobStream))
+	mux.HandleFunc("GET /v1/internal/results/{key}", s.instrument(routePeerGet, s.handlePeerGet))
+	mux.HandleFunc("PUT /v1/internal/results/{key}", s.instrument(routePeerPut, s.handlePeerPut))
 	return withRequestID(mux)
 }
 
 // withRequestID stamps X-Request-ID on every response: a sane inbound ID
 // is echoed (so a caller's own correlation IDs survive the round trip),
-// anything else gets a fresh one.
+// anything else gets a fresh one. The ID also rides the request context,
+// so work done on this request's behalf — in particular the cluster
+// store's peer-fetch hop — carries the same correlation ID to the next
+// node.
 func withRequestID(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(api.HeaderRequestID)
@@ -163,7 +184,7 @@ func withRequestID(h http.Handler) http.Handler {
 			id = newRequestID()
 		}
 		w.Header().Set(api.HeaderRequestID, id)
-		h.ServeHTTP(w, r)
+		h.ServeHTTP(w, r.WithContext(api.WithRequestID(r.Context(), id)))
 	})
 }
 
@@ -449,6 +470,83 @@ func writeStreamLine(w http.ResponseWriter, rc *http.ResponseController, line []
 	rc.Flush()
 }
 
+// maxPeerResultBytes bounds PUT /v1/internal/results/{key} bodies.
+// Reports are a few KiB; 8 MiB leaves an order-of-magnitude margin for
+// future scenario growth while keeping a misbehaving peer from streaming
+// unbounded bytes into memory.
+const maxPeerResultBytes = 8 << 20
+
+// validResultKey accepts exactly the content-address alphabet: 64
+// lowercase hex digits (a full SHA-256). Anything else is a 400 before
+// the store is consulted.
+func validResultKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handlePeerGet serves one result blob to a cluster peer — strictly from
+// this node's local tiers (memory, then local disk/pack). The lookup
+// deliberately bypasses the cluster store's remote fallthrough: if node A
+// asks node B and B asked C in turn, a missing key would ricochet around
+// the ring. A local miss is a normal 404 (code result_not_found); the
+// asking node simulates the run itself.
+func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validResultKey(key) {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Errorf("exp: result key %q is not a 64-digit hex digest", key))
+		return
+	}
+	blob, ok := s.engine.Cache().PeekLocal(r.Context(), key)
+	if !ok {
+		writeError(w, http.StatusNotFound, api.CodeResultNotFound,
+			fmt.Errorf("exp: result %s not held locally", key))
+		return
+	}
+	writeRawJSON(w, http.StatusOK, blob)
+}
+
+// handlePeerPut accepts one replicated result blob from a cluster peer
+// into this node's local tiers. Like handlePeerGet it stays strictly
+// local — storing through the cluster store's Put would re-enqueue the
+// blob for replication and echo it around the replica set forever. The
+// body must be valid JSON (it is re-served verbatim by handlePeerGet),
+// but is otherwise opaque: content addressing means a peer that sends
+// bytes for a key it computed honestly can only send the right bytes.
+func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validResultKey(key) {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Errorf("exp: result key %q is not a 64-digit hex digest", key))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPeerResultBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("reading body: %v", err))
+		return
+	}
+	if len(body) > maxPeerResultBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, api.CodeSpecTooLarge,
+			fmt.Errorf("result larger than %d bytes", maxPeerResultBytes))
+		return
+	}
+	if !json.Valid(body) {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Errorf("exp: replicated result %s is not valid JSON", key))
+		return
+	}
+	s.engine.Cache().PutLocal(r.Context(), key, body)
+	writeJSON(w, http.StatusOK, api.PeerAck{OK: true})
+}
+
 // handleScenarios lists the registry.
 func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, api.ScenarioList{Scenarios: ScenarioList()})
@@ -479,6 +577,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Status:  "ok",
 		Version: buildVersion,
 		Go:      buildGo,
+		NodeID:  s.nodeID,
+		Store:   s.storeKind,
+		Peers:   s.peers,
 		Cache: api.HealthCache{
 			Entries: st.Entries,
 			Hits:    st.Hits,
@@ -509,11 +610,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Drops:  pool.Drops,
 		},
 	}
-	// The store section's shape follows the configured backend. The pack
-	// engine is detected structurally (exp never imports internal/exp/pack;
-	// the dependency points the other way via the cmd layer), and a nil
-	// interface matches neither case, leaving both sections absent.
-	switch st := s.engine.cache.store.(type) {
+	// The store section's shape follows the configured backend, detected
+	// structurally (exp imports neither internal/exp/pack nor
+	// internal/cluster; the dependencies point the other way via the cmd
+	// layer), and a nil interface matches no case, leaving the sections
+	// absent. A cluster store contributes its own section and then unwraps
+	// to the local backend it shards, so the pack/store sections keep
+	// reporting on this node's own tier.
+	store := s.engine.cache.store
+	if cs, ok := store.(interface{ ClusterStats() api.ClusterStats }); ok {
+		stats := cs.ClusterStats()
+		doc.Cluster = &stats
+		if inner, ok := store.(interface{ Local() ResultStore }); ok {
+			store = inner.Local()
+		}
+	}
+	switch st := store.(type) {
 	case interface{ PackStats() api.PackStats }:
 		stats := st.PackStats()
 		doc.Pack = &stats

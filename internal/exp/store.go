@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -88,8 +89,10 @@ func (s *Store) entryPath(key string) string {
 
 // Get returns the stored report bytes for a key. Corrupt or truncated
 // entries are deleted and reported as misses, so a damaged file heals on
-// the next Put instead of poisoning every later read.
-func (s *Store) Get(key string) (json.RawMessage, bool) {
+// the next Put instead of poisoning every later read. The context is
+// part of the ResultStore contract; a purely local store has no remote
+// hops to bound with it.
+func (s *Store) Get(_ context.Context, key string) (json.RawMessage, bool) {
 	if !validStoreKey(key) {
 		s.met.Add(storeMisses, 1)
 		return nil, false
@@ -128,7 +131,7 @@ func (s *Store) Get(key string) (json.RawMessage, bool) {
 // simulator makes any second write byte-identical anyway), and the
 // tmp+rename dance means readers only ever see complete entries — a crash
 // mid-write leaves at worst a stray temp file, never a torn entry.
-func (s *Store) Put(key string, blob json.RawMessage) {
+func (s *Store) Put(_ context.Context, key string, blob json.RawMessage) {
 	if !validStoreKey(key) {
 		s.met.Add(storeErrors, 1)
 		return

@@ -28,12 +28,12 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := testKey(0)
-	if _, ok := st.Get(key); ok {
+	if _, ok := st.Get(context.Background(), key); ok {
 		t.Fatal("phantom entry")
 	}
 	blob := json.RawMessage(`{"id":"x","rows":[1,2,3]}`)
-	st.Put(key, blob)
-	got, ok := st.Get(key)
+	st.Put(context.Background(), key, blob)
+	got, ok := st.Get(context.Background(), key)
 	if !ok || !bytes.Equal(got, blob) {
 		t.Fatalf("round trip = %q, %v", got, ok)
 	}
@@ -43,14 +43,14 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatalf("entry not at fan-out path: %v", err)
 	}
 	// First write wins, like the in-memory cache.
-	st.Put(key, json.RawMessage(`{"id":"y"}`))
-	got, _ = st.Get(key)
+	st.Put(context.Background(), key, json.RawMessage(`{"id":"y"}`))
+	got, _ = st.Get(context.Background(), key)
 	if !bytes.Equal(got, blob) {
 		t.Fatal("second Put replaced the entry")
 	}
 	// Keys that are not hex digests never touch the filesystem.
-	st.Put("../escape", blob)
-	if _, ok := st.Get("../escape"); ok {
+	st.Put(context.Background(), "../escape", blob)
+	if _, ok := st.Get(context.Background(), "../escape"); ok {
 		t.Fatal("invalid key stored")
 	}
 	if _, err := os.Stat(filepath.Join(st.Dir(), "..", "escape")); err == nil {
@@ -94,18 +94,18 @@ func TestStoreCorruptEntries(t *testing.T) {
 	for i, tc := range corruptions {
 		t.Run(tc.name, func(t *testing.T) {
 			key := testKey(byte(i + 1))
-			st.Put(key, blob)
+			st.Put(context.Background(), key, blob)
 			path := filepath.Join(st.Dir(), key[:2], key)
 			tc.corrupt(path)
-			if got, ok := st.Get(key); ok {
+			if got, ok := st.Get(context.Background(), key); ok {
 				t.Fatalf("corrupt entry served: %q", got)
 			}
 			if _, err := os.Stat(path); err == nil {
 				t.Fatal("corrupt entry not deleted")
 			}
 			// The next Put rewrites the entry clean.
-			st.Put(key, blob)
-			if got, ok := st.Get(key); !ok || !bytes.Equal(got, blob) {
+			st.Put(context.Background(), key, blob)
+			if got, ok := st.Get(context.Background(), key); !ok || !bytes.Equal(got, blob) {
 				t.Fatalf("entry did not heal: %q, %v", got, ok)
 			}
 		})
@@ -294,7 +294,7 @@ func TestStoreCorruptEntryReSimulates(t *testing.T) {
 		t.Fatal("re-simulated sweep differs from the original")
 	}
 	// The re-simulation wrote the entry back clean.
-	if _, ok := st2.Get(key); !ok {
+	if _, ok := st2.Get(context.Background(), key); !ok {
 		t.Fatal("healed entry missing from the store")
 	}
 }

@@ -169,11 +169,19 @@ type JobPage struct {
 
 // Health is the GET /healthz response: a stable, minimal liveness
 // contract (richer data lives on /v1/metrics). Version and Go come from
-// the binary's embedded build info.
+// the binary's embedded build info. NodeID, Store, and Peers identify a
+// cluster member: the node's -node-id, its result-store backend ("pack",
+// "files", or "memory"), and how many other peers its hash ring knows
+// about (0 for a standalone server) — enough for an operator curling a
+// load-balanced address to tell which node answered and how it is
+// configured.
 type Health struct {
 	Status  string      `json:"status"`
 	Version string      `json:"version"`
 	Go      string      `json:"go"`
+	NodeID  string      `json:"node_id"`
+	Store   string      `json:"store"`
+	Peers   int         `json:"peers"`
 	Cache   HealthCache `json:"cache"`
 }
 
@@ -279,6 +287,49 @@ type JobsStats struct {
 	JournalCorruptDropped int64 `json:"journal_corrupt_dropped,omitempty"`
 }
 
+// ClusterStats is the cluster section of /v1/metrics, present only when
+// the server runs with -peers. The lookup counters classify how this
+// node resolved result keys that missed its in-memory cache: LocalHits
+// were served from the node's own durable store, RemoteHits were fetched
+// from a peer in the key's replica set, RemoteMisses were probes a live
+// peer answered "not found", PeerErrors were fetch attempts that failed
+// at the transport (a partitioned or dead peer — the lookup degrades to
+// local simulation, never to a failed request), and Misses count full
+// fallthroughs that went on to simulate locally. Heals count replica
+// copies written back to the local store after a peer fetch found bytes
+// this node should have owned.
+//
+// The Repl* counters account for the asynchronous replication queue:
+// Enqueued copies accepted, Sent copies acknowledged by their target,
+// Retries failed attempts that were re-tried with backoff, Failed copies
+// dropped after exhausting retries, and DroppedFull copies rejected at
+// enqueue because the bounded queue was full (re-replication on a later
+// read heals both loss modes). Queue is the point-in-time backlog gauge.
+type ClusterStats struct {
+	NodeID          string `json:"node_id"`
+	Peers           int    `json:"peers"`
+	LocalHits       int64  `json:"local_hits"`
+	RemoteHits      int64  `json:"remote_hits"`
+	RemoteMisses    int64  `json:"remote_misses"`
+	PeerErrors      int64  `json:"peer_errors"`
+	Misses          int64  `json:"misses"`
+	Heals           int64  `json:"heals"`
+	ReplEnqueued    int64  `json:"replication_enqueued"`
+	ReplSent        int64  `json:"replication_sent"`
+	ReplRetries     int64  `json:"replication_retries"`
+	ReplFailed      int64  `json:"replication_failed"`
+	ReplDroppedFull int64  `json:"replication_dropped_full"`
+	ReplQueue       int64  `json:"replication_queue"`
+}
+
+// PeerAck is the response body of the internal peer replication endpoint
+// (PUT /v1/internal/results/{key}): a minimal acknowledgment document —
+// the store is first-write-wins and content-addressed, so there is
+// nothing else to say.
+type PeerAck struct {
+	OK bool `json:"ok"`
+}
+
 // MachinePoolStats is the machine-pool section of /v1/metrics: how cold
 // runs were provisioned. Hits reused a pooled machine via the reset fast
 // path, Misses assembled a fresh machine because the pool was empty, and
@@ -298,6 +349,7 @@ type MetricsDoc struct {
 	Cache       CacheStats              `json:"cache"`
 	Store       *StoreStats             `json:"store,omitempty"`
 	Pack        *PackStats              `json:"pack,omitempty"`
+	Cluster     *ClusterStats           `json:"cluster,omitempty"`
 	Jobs        JobsStats               `json:"jobs"`
 	MachinePool MachinePoolStats        `json:"machine_pool"`
 }

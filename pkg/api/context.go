@@ -1,0 +1,25 @@
+package api
+
+import "context"
+
+// requestIDKey is the private context key under which the serving layer
+// records a request's X-Request-ID. The value travels with the request
+// context so that any outbound hop made on behalf of the request — a
+// peer fetch in a cluster, an SDK call from a handler — can echo the
+// same ID and the whole cross-node chain traces as one request.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request's correlation ID.
+// The server's middleware attaches the inbound (or freshly generated)
+// X-Request-ID here; pkg/client reads it back with RequestID and stamps
+// it on outgoing requests.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the correlation ID carried by ctx, or "" when the
+// context has none.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -57,6 +57,11 @@ const (
 	// overflow-safe arithmetic, so adversarially large grids get this
 	// error rather than a huge or integer-overflowed allocation.
 	CodeGridTooLarge ErrorCode = "grid_too_large"
+	// CodeResultNotFound: the internal peer-fetch endpoint
+	// (GET /v1/internal/results/{key}) does not hold the requested result
+	// locally (404). Expected in normal operation — the asking node falls
+	// back to simulating the run itself.
+	CodeResultNotFound ErrorCode = "result_not_found"
 	// CodeInternal: the server failed in a way the request did not cause.
 	CodeInternal ErrorCode = "internal"
 )

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -36,19 +37,21 @@ const (
 	DefaultTimeout      = 2 * time.Minute
 	DefaultRetries      = 2
 	DefaultBackoff      = 100 * time.Millisecond
+	DefaultBackoffCap   = 2 * time.Second
 	DefaultPollInterval = 20 * time.Millisecond
 	DefaultPollMax      = time.Second
 )
 
 // Client is a typed v1 API client. Safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	timeout time.Duration
-	retries int
-	backoff time.Duration
-	poll    time.Duration
-	pollMax time.Duration
+	base       string
+	hc         *http.Client
+	timeout    time.Duration
+	retries    int
+	backoff    time.Duration
+	backoffCap time.Duration
+	poll       time.Duration
+	pollMax    time.Duration
 
 	// Injection points for deterministic backoff tests; nil selects the
 	// real clock and math/rand.
@@ -73,10 +76,20 @@ func WithTimeout(d time.Duration) Option {
 }
 
 // WithRetry sets how many times a retry-safe request is reissued after a
-// transport error or 5xx response, and the base backoff between attempts
-// (which doubles each retry). 0 retries disables retrying.
+// transport error (connection refused, connection reset) or 5xx
+// response, and the base backoff between attempts. The backoff doubles
+// each retry up to WithBackoffCap's ceiling. 0 retries disables
+// retrying.
 func WithRetry(retries int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+}
+
+// WithBackoffCap caps the exponential retry backoff (default
+// DefaultBackoffCap). Without a cap, a generous retry budget against a
+// flapping server doubles into multi-minute sleeps; with one, retries
+// settle into a steady cadence instead.
+func WithBackoffCap(d time.Duration) Option {
+	return func(c *Client) { c.backoffCap = d }
 }
 
 // WithPollInterval sets WaitJob's initial status-poll cadence (the
@@ -104,13 +117,14 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: base URL %q: invalid", baseURL)
 	}
 	c := &Client{
-		base:    strings.TrimSuffix(baseURL, "/"),
-		hc:      http.DefaultClient,
-		timeout: DefaultTimeout,
-		retries: DefaultRetries,
-		backoff: DefaultBackoff,
-		poll:    DefaultPollInterval,
-		pollMax: DefaultPollMax,
+		base:       strings.TrimSuffix(baseURL, "/"),
+		hc:         http.DefaultClient,
+		timeout:    DefaultTimeout,
+		retries:    DefaultRetries,
+		backoff:    DefaultBackoff,
+		backoffCap: DefaultBackoffCap,
+		poll:       DefaultPollInterval,
+		pollMax:    DefaultPollMax,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -191,6 +205,42 @@ func (c *Client) Metrics(ctx context.Context) (*api.MetricsDoc, error) {
 		return nil, err
 	}
 	return &doc, nil
+}
+
+// FetchResult fetches one content-addressed result blob from a cluster
+// peer (GET /v1/internal/results/{key}). A peer that does not hold the
+// key locally is a clean miss — (nil, false, nil) — not an error: the
+// caller's fallback is to simulate the run itself, and a 404 here is
+// normal cluster operation. Retry-safe (the key names immutable bytes),
+// so transport flaps and 5xx responses get the client's capped-backoff
+// retry budget. The returned blob is byte-identical to what the owning
+// node serves locally: the wire frame's single trailing newline (added
+// by the server to every JSON body) is stripped — exactly one byte, so
+// the blob's own bytes are never touched.
+func (c *Client) FetchResult(ctx context.Context, key string) (json.RawMessage, bool, error) {
+	var body []byte
+	_, err := c.do(ctx, http.MethodGet, "/v1/internal/results/"+url.PathEscape(key), nil, &body, true)
+	if err != nil {
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.Code == api.CodeResultNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if n := len(body); n > 0 && body[n-1] == '\n' {
+		body = body[:n-1]
+	}
+	return json.RawMessage(body), true, nil
+}
+
+// StoreResult replicates one content-addressed result blob to a cluster
+// peer (PUT /v1/internal/results/{key}). Idempotent and retry-safe: the
+// key is the SHA-256 of the spec that produced the blob, so re-sending
+// can only rewrite identical bytes.
+func (c *Client) StoreResult(ctx context.Context, key string, blob json.RawMessage) error {
+	var ack api.PeerAck
+	_, err := c.do(ctx, http.MethodPut, "/v1/internal/results/"+url.PathEscape(key), blob, &ack, true)
+	return err
 }
 
 // SubmitJob enqueues a sweep as an asynchronous job (POST /v1/jobs).
@@ -334,7 +384,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
-			backoff *= 2
+			if backoff *= 2; c.backoffCap > 0 && backoff > c.backoffCap {
+				backoff = c.backoffCap
+			}
 		}
 		h, retryAgain, err := c.attempt(ctx, method, path, body, out)
 		if err == nil {
@@ -367,6 +419,12 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", api.ContentTypeJSON)
 	}
+	// Forward the correlation ID when serving on another request's behalf
+	// (a peer-forwarded cluster lookup), so one user request traces as one
+	// ID across every node it touches.
+	if id := api.RequestID(ctx); id != "" {
+		req.Header.Set(api.HeaderRequestID, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, true, fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -383,7 +441,13 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		}
 		return nil, resp.StatusCode >= 500, apiErr
 	}
-	if out != nil {
+	switch dst := out.(type) {
+	case nil:
+	case *[]byte:
+		// Raw capture for byte-identity-sensitive callers (FetchResult): the
+		// body verbatim, no JSON round trip that could reframe whitespace.
+		*dst = blob
+	default:
 		if err := json.Unmarshal(blob, out); err != nil {
 			return nil, false, fmt.Errorf("client: decoding %s %s response: %v", method, path, err)
 		}

@@ -1,0 +1,222 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// TestFetchResultByteIdentity pins the framing contract the cluster's
+// consistency story rests on: the blob FetchResult returns is
+// byte-identical to what the peer holds — the wire frame's single
+// trailing newline is stripped, and nothing else is touched. The probe
+// blob deliberately ends in "\n" inside a JSON string and carries odd
+// interior whitespace, so any over-trimming or JSON re-framing fails.
+func TestFetchResultByteIdentity(t *testing.T) {
+	blob := []byte("{\"report\": {\"x\":\t1 },\"note\":\"ends in newline\\n\"}")
+	const key = "4a5e1e4baab89f3a32518a88c31bc87f618f76673e2cc77ab2127b7afdeda33b"
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/internal/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("key") != key {
+			t.Errorf("fetched key %q", r.PathValue("key"))
+		}
+		// The server's writeRawJSON frame: body + exactly one "\n".
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.Write(blob)
+		w.Write([]byte("\n"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL)
+	got, ok, err := c.FetchResult(context.Background(), key)
+	if err != nil || !ok {
+		t.Fatalf("FetchResult = %v, %v", ok, err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("fetched blob differs:\n got %q\nwant %q", got, blob)
+	}
+}
+
+// TestFetchResultMissIsNotAnError: a peer that does not hold the key
+// answers 404 result_not_found, and the client reports a clean miss —
+// the caller's fallback is simulation, not error handling.
+func TestFetchResultMissIsNotAnError(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/internal/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.Envelope{Err: &api.Error{
+			Code: api.CodeResultNotFound, Message: "not held locally",
+		}})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL)
+	blob, ok, err := c.FetchResult(context.Background(), "deadbeef")
+	if err != nil {
+		t.Fatalf("miss surfaced as error: %v", err)
+	}
+	if ok || blob != nil {
+		t.Fatalf("miss reported a hit: %q", blob)
+	}
+}
+
+// TestStoreResultRoundTrip: StoreResult PUTs the blob verbatim and
+// accepts the ack.
+func TestStoreResultRoundTrip(t *testing.T) {
+	blob := json.RawMessage(`{"v": 42}`)
+	var got []byte
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/internal/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, r.ContentLength)
+		r.Body.Read(body)
+		mu.Lock()
+		got = body
+		mu.Unlock()
+		json.NewEncoder(w).Encode(api.PeerAck{OK: true})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL)
+	if err := c.StoreResult(context.Background(), "deadbeef", blob); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("peer received %q, want %q", got, blob)
+	}
+}
+
+// flappingListener refuses (accepts then immediately resets) the first n
+// connections, then serves normally — a server mid-restart as the
+// network sees it.
+type flappingListener struct {
+	net.Listener
+	refuse atomic.Int64
+}
+
+func (l *flappingListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.refuse.Add(-1) >= 0 {
+			conn.Close() // reset: the client sees a connection error
+			continue
+		}
+		return conn, nil
+	}
+}
+
+// TestFetchResultRetriesConnectionReset pins the small-fix satellite: a
+// connection reset on an idempotent content-addressed GET is retried
+// (with backoff) instead of surfacing, so a peer bouncing at the instant
+// of a fetch costs latency, not a miss.
+func TestFetchResultRetriesConnectionReset(t *testing.T) {
+	blob := []byte(`{"ok":true}`)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/internal/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", api.ContentTypeJSON)
+		w.Write(blob)
+		w.Write([]byte("\n"))
+	})
+	ts := httptest.NewUnstartedServer(mux)
+	fl := &flappingListener{Listener: ts.Listener}
+	fl.refuse.Store(2)
+	ts.Listener = fl
+	ts.Start()
+	defer ts.Close()
+
+	// Connection reuse would dodge the flap, so force a fresh dial per
+	// attempt.
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	c := newTestClient(t, ts.URL,
+		WithHTTPClient(hc), WithRetry(3, time.Millisecond), WithBackoffCap(5*time.Millisecond))
+	got, ok, err := c.FetchResult(context.Background(), "deadbeef")
+	if err != nil || !ok {
+		t.Fatalf("FetchResult through a flapping server = %v, %v", ok, err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("fetched %q, want %q", got, blob)
+	}
+}
+
+// TestRetryBackoffCapped pins the capped-backoff schedule: with a base
+// of 100ms and a cap of 200ms, the waits are 100, 200, 200, 200 — not
+// 100, 200, 400, 800.
+func TestRetryBackoffCapped(t *testing.T) {
+	calls := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, "no", http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	start := time.Now()
+	c := newTestClient(t, ts.URL, WithRetry(4, 100*time.Millisecond), WithBackoffCap(200*time.Millisecond))
+	_, err := c.Health(context.Background())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected failure after retries exhausted")
+	}
+	if calls != 5 {
+		t.Fatalf("made %d attempts, want 5", calls)
+	}
+	// Capped: 100+200+200+200 = 700ms of sleeps. Uncapped would be
+	// 100+200+400+800 = 1.5s. Allow generous scheduling slack either way.
+	if elapsed > 1200*time.Millisecond {
+		t.Fatalf("retries took %v; backoff cap not applied", elapsed)
+	}
+	if elapsed < 600*time.Millisecond {
+		t.Fatalf("retries took only %v; backoff not applied at all", elapsed)
+	}
+}
+
+// TestRequestIDForwarded pins that a context carrying a request ID
+// stamps it on the outgoing request — the client half of cross-node
+// request tracing.
+func TestRequestIDForwarded(t *testing.T) {
+	var seen atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		seen.Store(r.Header.Get(api.HeaderRequestID))
+		json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL)
+	ctx := api.WithRequestID(context.Background(), "trace-77")
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := seen.Load().(string); got != "trace-77" {
+		t.Fatalf("server saw X-Request-ID %q, want trace-77", got)
+	}
+
+	// A bare context stamps nothing.
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := seen.Load().(string); got != "" {
+		t.Fatalf("bare context leaked X-Request-ID %q", got)
+	}
+}
